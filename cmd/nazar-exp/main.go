@@ -1,0 +1,75 @@
+// Command nazar-exp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	nazar-exp [-quick] [-seed N] <experiment-id>... | all | list
+//
+// Experiment IDs follow the paper's numbering (table1, fig2, table3,
+// table4, fig5a..fig5c, realrain, table5, fig6, fig7, fig8, fig9ab,
+// fig9c, fig9d, runtime, adaptfreq, crosscause, ablation-*).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nazar/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size experiments")
+	seed := flag.Uint64("seed", 42, "random seed")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of tables")
+	asMarkdown := flag.Bool("markdown", false, "emit results as GitHub-flavored markdown")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: nazar-exp [-quick] [-seed N] <id>... | all | list\n\nexperiments:\n  %s\n",
+			strings.Join(experiments.IDs(), "\n  "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	ids := args
+	if args[0] == "all" {
+		ids = experiments.IDs()
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	failed := false
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for _, id := range ids {
+		tables, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nazar-exp: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		for _, t := range tables {
+			switch {
+			case *asJSON:
+				if err := enc.Encode(t); err != nil {
+					fmt.Fprintf(os.Stderr, "nazar-exp: %s: %v\n", id, err)
+					failed = true
+				}
+			case *asMarkdown:
+				fmt.Println(t.Markdown())
+			default:
+				fmt.Println(t.String())
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,82 @@
+// Command nazar-sim runs one end-to-end streaming workload: a device
+// fleet under historical-weather drift with the chosen adaptation
+// strategy, printing per-window accuracy, detection and deployment
+// statistics.
+//
+// Usage:
+//
+//	nazar-sim [-dataset cityscapes|animals] [-strategy nazar|adapt-all|no-adapt]
+//	          [-arch resnet18|resnet34|resnet50] [-windows 8] [-severity 3]
+//	          [-alpha 0] [-total 4000] [-epochs 25] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"nazar/internal/dataset"
+	"nazar/internal/imagesim"
+	"nazar/internal/nn"
+	"nazar/internal/pipeline"
+)
+
+func main() {
+	var (
+		dsName   = flag.String("dataset", "cityscapes", "workload: cityscapes or animals")
+		strategy = flag.String("strategy", "nazar", "nazar, adapt-all or no-adapt")
+		arch     = flag.String("arch", "resnet50", "model architecture analogue")
+		windows  = flag.Int("windows", 8, "adaptation windows over the calendar")
+		severity = flag.Int("severity", imagesim.DefaultSeverity, "weather drift severity (0-5)")
+		alpha    = flag.Float64("alpha", 0, "animals Zipf class skew")
+		total    = flag.Int("total", 4000, "cityscapes total image count")
+		epochs   = flag.Int("epochs", 25, "base-model training epochs")
+		seed     = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	var ds *dataset.Dataset
+	switch *dsName {
+	case "cityscapes":
+		ds = dataset.NewCityscapes(dataset.CityscapesConfig{Total: *total, Devices: 2, Seed: *seed})
+	case "animals":
+		cfg := dataset.DefaultAnimals(*seed)
+		cfg.Alpha = *alpha
+		cfg.Classes = 24
+		cfg.TrainPerClass = 50
+		cfg.ValPerClass = 12
+		cfg.DevicesPerLocation = 4
+		ds = dataset.NewAnimals(cfg)
+	default:
+		log.Fatalf("nazar-sim: unknown dataset %q", *dsName)
+	}
+
+	fmt.Printf("dataset=%s train=%d val=%d stream=%d classes=%d\n",
+		ds.Name, ds.Train.Len(), ds.Val.Len(), len(ds.Stream), ds.World.Classes())
+
+	fmt.Printf("training base model (%s, %d epochs)...\n", *arch, *epochs)
+	base := pipeline.TrainBase(ds, nn.Arch(*arch), *epochs, *seed)
+	fmt.Printf("clean validation accuracy: %.1f%%\n", 100*pipeline.CleanValAccuracy(ds, base))
+
+	cfg := pipeline.DefaultConfig(pipeline.Strategy(*strategy), *seed)
+	cfg.Windows = *windows
+	cfg.Severity = *severity
+	res, err := pipeline.Run(ds, base, cfg)
+	if err != nil {
+		log.Fatalf("nazar-sim: %v", err)
+	}
+
+	fmt.Printf("\nstrategy=%s\n", res.Strategy)
+	fmt.Println("win  acc(all)  acc(drift)  n(drift)  detect  versions  causes")
+	for i, w := range res.Windows {
+		fmt.Printf("%3d  %7.1f%%  %9.1f%%  %8d  %6.2f  %8d  %v\n",
+			i, 100*w.AccAll, 100*w.AccDrift, w.NDrift, w.DetectionRate, w.VersionCount, w.Causes)
+	}
+	mAll, sdAll := res.AvgAccLast(*windows - 1)
+	mDrift, sdDrift := res.AvgDriftAccLast(*windows - 1)
+	fmt.Printf("\navg accuracy (last %d windows): all %.1f%% ±%.1f, drifted %.1f%% ±%.1f\n",
+		*windows-1, 100*mAll, 100*sdAll, 100*mDrift, 100*sdDrift)
+	for corr, ra := range res.PerDrift {
+		fmt.Printf("  drift %-18s accuracy %.1f%% (n=%d)\n", corr, 100*ra.Value(), ra.Total)
+	}
+}

@@ -1,0 +1,92 @@
+// Command nazard runs the Nazar cloud service as an HTTP server: it
+// trains (or accepts) a base model, ingests drift-log entries from device
+// agents, runs root-cause analysis on a schedule or on demand, and serves
+// adapted BN versions for devices to pull.
+//
+// Usage:
+//
+//	nazard [-addr :8750] [-classes 24] [-train-per-class 50] [-epochs 25]
+//	       [-seed 42] [-analyze-every 0]
+//
+// With -analyze-every > 0 the analysis loop runs periodically; otherwise
+// clients trigger it via POST /v1/analyze.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"nazar/internal/cloud"
+	"nazar/internal/httpapi"
+	"nazar/internal/imagesim"
+	"nazar/internal/nn"
+	"nazar/internal/tensor"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8750", "listen address")
+		classes  = flag.Int("classes", 24, "world classes")
+		perClass = flag.Int("train-per-class", 50, "training examples per class")
+		epochs   = flag.Int("epochs", 25, "base-model training epochs")
+		seed     = flag.Uint64("seed", 42, "world/model seed (devices must match)")
+		every    = flag.Duration("analyze-every", 0, "periodic analysis interval (0 = on demand)")
+		logFile  = flag.String("log-file", "", "drift-log persistence path (loaded on start, saved after each analysis)")
+		retain   = flag.Duration("retention", 0, "compact drift-log rows older than this before each analysis (0 = keep all)")
+	)
+	flag.Parse()
+
+	log.Printf("nazard: building world (classes=%d seed=%d) and training base model", *classes, *seed)
+	world := imagesim.NewWorld(imagesim.DefaultConfig(*classes, *seed))
+	rng := tensor.NewRand(*seed, 0xD003)
+	base := nn.NewClassifier(nn.ArchResNet50, world.Dim(), *classes, rng)
+	n := *perClass * *classes
+	x := tensor.New(n, world.Dim())
+	y := make([]int, n)
+	i := 0
+	for c := 0; c < *classes; c++ {
+		for k := 0; k < *perClass; k++ {
+			y[i] = c
+			copy(x.Row(i), world.Sample(c, rng))
+			i++
+		}
+	}
+	nn.Fit(base, x, y, nn.TrainConfig{Epochs: *epochs, BatchSize: 32, Rng: rng})
+	log.Printf("nazard: base model ready (train accuracy %.1f%%)", 100*base.Accuracy(x, y))
+
+	ccfg := cloud.DefaultConfig()
+	ccfg.LogRetention = *retain
+	svc := cloud.NewService(base, ccfg)
+	if *logFile != "" {
+		if err := svc.LoadLog(*logFile); err != nil {
+			log.Printf("nazard: no drift log restored from %s: %v", *logFile, err)
+		} else {
+			log.Printf("nazard: restored %d drift-log rows from %s", svc.Log().Len(), *logFile)
+		}
+	}
+	if *every > 0 {
+		sched := cloud.NewScheduler(svc, *every)
+		sched.OnResult = func(res cloud.WindowResult) {
+			log.Printf("nazard: analysis over %d rows: %d causes, %d versions (rca %v, adapt %v)",
+				res.LogRows, len(res.Causes), len(res.Versions), res.RCADuration, res.AdaptDuration)
+			if *logFile != "" {
+				if err := svc.SaveLog(*logFile); err != nil {
+					log.Printf("nazard: persist drift log: %v", err)
+				}
+			}
+		}
+		sched.Start()
+		defer sched.Stop()
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.NewServer(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("nazard listening on %s\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

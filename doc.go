@@ -1,0 +1,43 @@
+// Package nazar is a from-scratch Go reproduction of "Nazar: Monitoring
+// and Adapting ML Models on Mobile Devices" (Hao et al., ASPLOS 2025) —
+// the first end-to-end system that continuously detects data drift on
+// mobile devices, diagnoses its root causes in the cloud, and adapts
+// models to each cause without any labeled data.
+//
+// # Architecture
+//
+// The system is organized as one package per subsystem under internal/:
+//
+//   - tensor, nn        — the ML substrate: dense linear algebra and a
+//     batch-norm MLP with full backpropagation, SGD/Adam, TENT/MEMO
+//     losses and BN-state serialization ("BN versions").
+//   - imagesim, weather, dataset — the synthetic evaluation substrate:
+//     class-conditional feature-vector "images", 16 ImageNet-C-style
+//     corruption operators, a seeded historical-weather generator, and
+//     the cityscapes/animals workload builders.
+//   - detect            — drift detectors: the MSP threshold Nazar ships
+//     on devices, the KS-test batch detector, and the Odin / GOdin /
+//     Mahalanobis / Outlier-Exposure / SSL alternatives of Table 1.
+//   - driftlog, fim, rca — the cloud analysis stack: the columnar drift
+//     log, the apriori frequent-itemset miner with the four Table 3
+//     metrics, and set reduction + counterfactual analysis (Algorithm 1).
+//   - adapt, registry   — by-cause TENT/MEMO adaptation producing BN
+//     versions, and the on-device LRU model pool with attribute-match
+//     version selection.
+//   - device, cloud, httpapi, pipeline — the end-to-end system: device
+//     simulator, cloud service, JSON/HTTP wire protocol, and the
+//     streaming workload runner behind the paper's Figures 8–9.
+//   - experiments       — one regenerator per table and figure of §5.
+//
+// # Entry points
+//
+//   - cmd/nazar-exp     — regenerate any table/figure by ID.
+//   - cmd/nazar-sim     — run one end-to-end workload.
+//   - cmd/nazard        — the cloud service over HTTP.
+//   - cmd/nazar-device  — a device-fleet agent against nazard.
+//   - examples/         — quickstart, cityscapes, animals, httpfleet.
+//
+// See DESIGN.md for the substitution table (what the paper used on AWS
+// and real datasets versus what this repository builds) and
+// EXPERIMENTS.md for paper-vs-measured results.
+package nazar

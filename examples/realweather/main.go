@@ -1,0 +1,83 @@
+// Real-weather example: driving the end-to-end workload from historical
+// weather records instead of the synthetic generator.
+//
+// The paper tags images with scraped historical weather (Kaggle daily
+// weather, Weather Underground). This example loads records in that CSV
+// layout (location,date,condition) via weather.LoadCSV and plugs them
+// into the pipeline as its weather source — the exact seam a user with
+// the real Kaggle file would use. Here the CSV is embedded and describes
+// a brutal January: two weeks of snow in every city, then clear skies.
+//
+// Run with: go run ./examples/realweather
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"nazar/internal/dataset"
+	"nazar/internal/nn"
+	"nazar/internal/pipeline"
+	"nazar/internal/weather"
+)
+
+// buildCSV synthesizes the embedded "historical" file: snow everywhere
+// for days 0–13, clear afterwards (with scattered rain in March).
+func buildCSV() string {
+	var b strings.Builder
+	b.WriteString("location,date,condition\n")
+	for _, loc := range weather.CityscapesLocations {
+		for d := 0; d < weather.Days(); d++ {
+			cond := "clear"
+			switch {
+			case d < 14:
+				cond = "snow"
+			case d >= 70 && d < 80:
+				cond = "rain"
+			}
+			fmt.Fprintf(&b, "%s,%s,%s\n", loc, weather.Day(d).Format("2006-01-02"), cond)
+		}
+	}
+	return b.String()
+}
+
+func main() {
+	records, err := weather.LoadCSV(strings.NewReader(buildCSV()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded historical weather for %d locations\n", len(records.Locations()))
+
+	ds := dataset.NewCityscapes(dataset.CityscapesConfig{Total: 2400, Devices: 2, Seed: 19})
+	fmt.Println("training base model...")
+	base := pipeline.TrainBase(ds, nn.ArchResNet34, 18, 19)
+
+	for _, s := range []pipeline.Strategy{pipeline.NoAdapt, pipeline.Nazar} {
+		cfg := pipeline.DefaultConfig(s, 19)
+		cfg.Windows = 8
+		cfg.Weather = records // the CSV records replace the generator
+		// The all-snow January confounds early analyses (see the note
+		// below); retire versions whose causes vanish from later ones.
+		cfg.RetireAfter = 2
+		start := time.Now()
+		res, err := pipeline.Run(ds, base, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mAll, _ := res.AvgAccLast(7)
+		mDrift, _ := res.AvgDriftAccLast(7)
+		fmt.Printf("%-9s  all %.1f%%  drifted %.1f%%  (%.1fs)\n",
+			s, 100*mAll, 100*mDrift, time.Since(start).Seconds())
+		if s == pipeline.Nazar {
+			fmt.Println("  causes per window:")
+			for i, w := range res.Windows {
+				fmt.Printf("    w%d: %v\n", i, w.Causes)
+			}
+		}
+	}
+	fmt.Println("\nnote: the January snowstorm dominates windows 0-1 and the")
+	fmt.Println("March rain windows 5-6; Nazar's causes should track that calendar.")
+}

@@ -1,0 +1,3 @@
+module nazar
+
+go 1.24

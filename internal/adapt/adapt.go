@@ -1,0 +1,301 @@
+// Package adapt implements Nazar's self-supervised model adaptation
+// (§3.4): TENT entropy minimization (Eq. 2) and MEMO marginal-entropy
+// minimization (Eq. 3), both restricted to batch-norm parameters, plus
+// the by-cause adaptation manager that produces one deployable "BN
+// version" per root cause and the adapt-all baseline the paper compares
+// against.
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"nazar/internal/nn"
+	"nazar/internal/rca"
+	"nazar/internal/tensor"
+)
+
+// Method selects the self-supervised objective.
+type Method string
+
+const (
+	// TENT minimizes prediction entropy over batches (the paper's
+	// default — it "largely outperforms MEMO in both strategies").
+	TENT Method = "tent"
+	// MEMO minimizes the marginal entropy over augmented copies of
+	// each input.
+	MEMO Method = "memo"
+)
+
+// AugmentFunc produces a randomly augmented copy of an input (used by
+// MEMO; imagesim.World.Augment satisfies it).
+type AugmentFunc func(x []float64, rng *rand.Rand) []float64
+
+// Config controls one adaptation run.
+type Config struct {
+	Method Method
+	// LR is the Adam learning rate over the BN affine parameters.
+	LR float64
+	// Epochs is the number of passes over the sample pool.
+	Epochs int
+	// BatchSize is the adaptation batch size (TENT needs > 1 so the
+	// entropy objective cannot collapse per-sample).
+	BatchSize int
+	// MaxBatchesPerEpoch caps work per epoch (0 = no cap).
+	MaxBatchesPerEpoch int
+	// MinSteps extends the number of epochs so at least this many
+	// optimizer steps run even when the sample pool is small (a window
+	// may only collect a few dozen uploads per cause).
+	MinSteps int
+	// Augmentations is the number of MEMO copies per input.
+	Augmentations int
+	// Augment is required for MEMO.
+	Augment AugmentFunc
+	// EntropyFilter, when positive, skips samples whose prediction
+	// entropy exceeds EntropyFilter·ln(C) during TENT (an EATA-style
+	// reliability filter: very-high-entropy samples carry noisy
+	// gradients). 0 disables filtering.
+	EntropyFilter float64
+	Rng           *rand.Rand
+}
+
+// DefaultConfig returns calibrated TENT defaults.
+func DefaultConfig() Config {
+	return Config{Method: TENT, LR: 0.005, Epochs: 3, BatchSize: 64, Augmentations: 8}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Method == "" {
+		c.Method = TENT
+	}
+	if c.LR <= 0 {
+		c.LR = 0.005
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 3
+	}
+	if c.BatchSize <= 1 {
+		c.BatchSize = 64
+	}
+	if c.Augmentations <= 1 {
+		c.Augmentations = 8
+	}
+	if c.Rng == nil {
+		c.Rng = tensor.NewRand(0xADA, 1)
+	}
+	return c
+}
+
+// Adapt clones base, freezes everything except batch-norm γ/β, runs the
+// configured self-supervised objective over the unlabeled samples, and
+// returns the adapted clone. The base network is never mutated.
+func Adapt(base *nn.Network, samples *tensor.Matrix, cfg Config) (*nn.Network, error) {
+	cfg = cfg.withDefaults()
+	if samples == nil || samples.Rows == 0 {
+		return nil, fmt.Errorf("adapt: no samples to adapt on")
+	}
+	if cfg.Method == MEMO && cfg.Augment == nil {
+		return nil, fmt.Errorf("adapt: MEMO requires an augmentation function")
+	}
+	net := base.Clone()
+	net.FreezeExceptBN()
+	opt := nn.NewAdam(cfg.LR)
+
+	n := samples.Rows
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	epochs := cfg.Epochs
+	if cfg.MinSteps > 0 {
+		stepsPerEpoch := (n + cfg.BatchSize - 1) / cfg.BatchSize
+		if cfg.MaxBatchesPerEpoch > 0 && stepsPerEpoch > cfg.MaxBatchesPerEpoch {
+			stepsPerEpoch = cfg.MaxBatchesPerEpoch
+		}
+		if need := (cfg.MinSteps + stepsPerEpoch - 1) / stepsPerEpoch; need > epochs {
+			epochs = need
+		}
+	}
+	for epoch := 0; epoch < epochs; epoch++ {
+		cfg.Rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		batches := 0
+		for s := 0; s < n; s += cfg.BatchSize {
+			if cfg.MaxBatchesPerEpoch > 0 && batches >= cfg.MaxBatchesPerEpoch {
+				break
+			}
+			e := min(s+cfg.BatchSize, n)
+			if e-s < 2 && cfg.Method == TENT {
+				break // a singleton TENT batch has a degenerate objective
+			}
+			batch := gatherRows(samples, idx[s:e])
+			switch cfg.Method {
+			case TENT:
+				net.ZeroGrads()
+				logits := net.Forward(batch, nn.Adapt)
+				_, dlogits := nn.Entropy(logits)
+				if cfg.EntropyFilter > 0 {
+					zeroUnreliableRows(logits, dlogits, cfg.EntropyFilter)
+				}
+				net.Backward(dlogits)
+				opt.Step(net.Params())
+			case MEMO:
+				// TENT-style batching (§3.4): augment every input in
+				// the batch so BN statistics come from the whole
+				// augmented batch, then minimize the per-input
+				// marginal entropy.
+				copies := tensor.New(batch.Rows*cfg.Augmentations, batch.Cols)
+				for r := 0; r < batch.Rows; r++ {
+					for a := 0; a < cfg.Augmentations; a++ {
+						copy(copies.Row(r*cfg.Augmentations+a), cfg.Augment(batch.Row(r), cfg.Rng))
+					}
+				}
+				net.ZeroGrads()
+				logits := net.Forward(copies, nn.Adapt)
+				_, dlogits := nn.GroupedMarginalEntropy(logits, cfg.Augmentations)
+				net.Backward(dlogits)
+				opt.Step(net.Params())
+			default:
+				return nil, fmt.Errorf("adapt: unknown method %q", cfg.Method)
+			}
+			batches++
+		}
+	}
+	net.UnfreezeAll()
+	return net, nil
+}
+
+// zeroUnreliableRows zeroes the gradient rows of samples whose prediction
+// entropy exceeds frac·ln(C) — they still contribute to the BN batch
+// statistics but not to the γ/β update.
+func zeroUnreliableRows(logits, grad *tensor.Matrix, frac float64) {
+	limit := frac * math.Log(float64(logits.Cols))
+	for i := 0; i < logits.Rows; i++ {
+		p := tensor.Softmax(logits.Row(i))
+		if nn.EntropyOf(p) > limit {
+			g := grad.Row(i)
+			for j := range g {
+				g[j] = 0
+			}
+		}
+	}
+}
+
+// gatherRows copies the selected rows into a fresh matrix.
+func gatherRows(m *tensor.Matrix, sel []int) *tensor.Matrix {
+	out := tensor.New(len(sel), m.Cols)
+	for i, r := range sel {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// BNVersion is the deployable adaptation artifact: the batch-norm state
+// of an adapted model tagged with the root cause it was adapted to. Only
+// this (not the full model) is shipped to devices.
+type BNVersion struct {
+	ID        string
+	Cause     rca.Cause // empty Items = the continuously-adapted clean model
+	Snapshot  *nn.BNSnapshot
+	CreatedAt time.Time
+}
+
+// SizeBytes returns the wire size of the version's BN payload.
+func (v BNVersion) SizeBytes() int { return v.Snapshot.SizeBytes() }
+
+// IsClean reports whether this is the clean (no-cause) model version.
+func (v BNVersion) IsClean() bool { return len(v.Cause.Items) == 0 }
+
+// SampleSource supplies the unlabeled uploaded samples associated with a
+// root cause (nil/empty matrix when none were collected).
+type SampleSource func(c rca.Cause) *tensor.Matrix
+
+// ByCause produces one BN version per cause by adapting a clone of base
+// on that cause's samples (Nazar's core adaptation strategy). Causes with
+// fewer than minSamples uploads are skipped: adaptation on a handful of
+// images underfits.
+//
+// Causes adapt concurrently — each run clones the base and they share no
+// state (§5.8: "model adaptation can be easily parallelized"). Each cause
+// gets its own deterministic RNG derived from cfg.Rng's first draw and
+// the cause key, so results do not depend on scheduling.
+func ByCause(base *nn.Network, causes []rca.Cause, samples SampleSource, minSamples int, cfg Config, now time.Time) ([]BNVersion, error) {
+	if minSamples < 2 {
+		minSamples = 2
+	}
+	cfg = cfg.withDefaults()
+	baseSeed := cfg.Rng.Uint64()
+
+	type slot struct {
+		version BNVersion
+		err     error
+		ok      bool
+	}
+	slots := make([]slot, len(causes))
+	var wg sync.WaitGroup
+	for i, c := range causes {
+		sx := samples(c)
+		if sx == nil || sx.Rows < minSamples {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, c rca.Cause, sx *tensor.Matrix) {
+			defer wg.Done()
+			causeCfg := cfg
+			causeCfg.Rng = tensor.NewRand(baseSeed^hashKey(c.Key()), uint64(i)+1)
+			adapted, err := Adapt(base, sx, causeCfg)
+			if err != nil {
+				slots[i] = slot{err: fmt.Errorf("adapt: cause %s: %w", c, err)}
+				return
+			}
+			slots[i] = slot{
+				version: BNVersion{
+					ID:        fmt.Sprintf("%s@%d#%d", c.Key(), now.Unix(), i),
+					Cause:     c,
+					Snapshot:  nn.CaptureBN(adapted),
+					CreatedAt: now,
+				},
+				ok: true,
+			}
+		}(i, c, sx)
+	}
+	wg.Wait()
+	var versions []BNVersion
+	for _, s := range slots {
+		if s.err != nil {
+			return nil, s.err
+		}
+		if s.ok {
+			versions = append(versions, s.version)
+		}
+	}
+	return versions, nil
+}
+
+// hashKey derives a stable seed from a cause key.
+func hashKey(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(s) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
+}
+
+// All adapts a single model on the pooled samples of every cause — the
+// adapt-all baseline (what Ekya-style systems and plain TENT deployments
+// do). Returns the adapted network.
+func All(base *nn.Network, samples *tensor.Matrix, cfg Config) (*nn.Network, error) {
+	return Adapt(base, samples, cfg)
+}
+
+// Materialize instantiates a runnable model from a base network and a BN
+// version.
+func Materialize(base *nn.Network, v BNVersion) (*nn.Network, error) {
+	net := base.Clone()
+	if err := v.Snapshot.ApplyTo(net); err != nil {
+		return nil, fmt.Errorf("adapt: materialize %s: %w", v.ID, err)
+	}
+	return net, nil
+}

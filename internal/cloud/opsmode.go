@@ -1,0 +1,121 @@
+package cloud
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nazar/internal/adapt"
+	"nazar/internal/rca"
+	"nazar/internal/tensor"
+)
+
+// Alert notifies the ML-ops team that drift was detected and diagnosed
+// (§3.1: operators can run Nazar out of autopilot, receive alerts, and
+// decide manually what to adapt).
+type Alert struct {
+	Time    time.Time
+	Cause   rca.Cause
+	Drift   int // drifted rows attributed to the cause in the window
+	Total   int // rows matching the cause in the window
+	Message string
+}
+
+// Alerter receives alerts; implementations might page, post to chat, or
+// just record (AlertLog).
+type Alerter interface {
+	Alert(a Alert)
+}
+
+// AlertFunc adapts a function to the Alerter interface.
+type AlertFunc func(Alert)
+
+// Alert implements Alerter.
+func (f AlertFunc) Alert(a Alert) { f(a) }
+
+// AlertLog is an Alerter that records alerts in memory.
+type AlertLog struct {
+	mu     sync.Mutex
+	alerts []Alert
+}
+
+// Alert implements Alerter.
+func (l *AlertLog) Alert(a Alert) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.alerts = append(l.alerts, a)
+}
+
+// Alerts returns a copy of the recorded alerts.
+func (l *AlertLog) Alerts() []Alert {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Alert(nil), l.alerts...)
+}
+
+// SetAlerter installs the alert sink (nil disables alerts).
+func (s *Service) SetAlerter(a Alerter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.alerter = a
+}
+
+// alertCauses emits one alert per discovered cause.
+func (s *Service) alertCauses(causes []rca.Cause, from, to, now time.Time) {
+	s.mu.Lock()
+	alerter := s.alerter
+	s.mu.Unlock()
+	if alerter == nil {
+		return
+	}
+	v := s.log.Window(from, to)
+	for _, c := range causes {
+		cr, err := v.Count(c.Items, nil)
+		if err != nil {
+			continue
+		}
+		alerter.Alert(Alert{
+			Time:  now,
+			Cause: c,
+			Drift: cr.Drift,
+			Total: cr.Total,
+			Message: fmt.Sprintf("drift cause %s: %d/%d entries drifted (risk ratio %.2f)",
+				c, cr.Drift, cr.Total, c.Metrics.RiskRatio),
+		})
+	}
+}
+
+// Diagnose runs root-cause analysis only — the manual-mode entry point:
+// the ML-ops team inspects the causes (and receives alerts) without any
+// adaptation being triggered.
+func (s *Service) Diagnose(from, to, now time.Time) ([]rca.Cause, error) {
+	v := s.log.Window(from, to)
+	causes, err := rca.Analyze(v, rca.Config{Thresholds: s.cfg.Thresholds}, s.cfg.RCAMode)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: diagnose: %w", err)
+	}
+	s.alertCauses(causes, from, to, now)
+	return causes, nil
+}
+
+// AdaptCauses adapts only the operator-selected causes (manual mode's
+// second half). Returns the produced versions; the clean model is not
+// touched.
+func (s *Service) AdaptCauses(causes []rca.Cause, from, to, now time.Time) ([]adapt.BNVersion, error) {
+	v := s.log.Window(from, to)
+	source := func(c rca.Cause) *tensor.Matrix {
+		ids, err := v.SampleIDs(c.Items)
+		if err != nil {
+			return nil
+		}
+		return s.samples.Gather(ids)
+	}
+	versions, err := adapt.ByCause(s.Base(), causes, source, s.cfg.MinSamplesPerCause, s.cfg.AdaptCfg, now)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: manual adaptation: %w", err)
+	}
+	s.mu.Lock()
+	s.deployed = append(s.deployed, versions...)
+	s.mu.Unlock()
+	return versions, nil
+}

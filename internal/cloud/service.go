@@ -1,0 +1,319 @@
+// Package cloud implements the cloud half of Nazar: drift-log ingestion,
+// the sample store for uploaded inputs, the periodic root-cause-analysis
+// job, by-cause adaptation and version deployment.
+//
+// The paper runs these on Aurora + Lambda + GPU EC2 + S3; here they are
+// one in-process service (package httpapi adds the wire protocol for a
+// real distributed deployment).
+package cloud
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nazar/internal/adapt"
+	"nazar/internal/driftlog"
+	"nazar/internal/fim"
+	"nazar/internal/nn"
+	"nazar/internal/rca"
+	"nazar/internal/tensor"
+)
+
+// SampleStore holds uploaded input samples keyed by ID. With a positive
+// capacity it retains only the most recent samples (older ones are
+// dropped; stale IDs then gather nothing), bounding cloud memory the way
+// the paper's S3 lifecycle rules would.
+type SampleStore struct {
+	mu       sync.RWMutex
+	vectors  [][]float64
+	capacity int
+	dropped  int64 // IDs below this have been evicted
+}
+
+// NewSampleStore returns an unbounded store.
+func NewSampleStore() *SampleStore { return &SampleStore{} }
+
+// NewBoundedSampleStore returns a store retaining at most capacity
+// samples.
+func NewBoundedSampleStore(capacity int) *SampleStore {
+	return &SampleStore{capacity: capacity}
+}
+
+// Add stores a sample and returns its ID.
+func (s *SampleStore) Add(x []float64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vectors = append(s.vectors, append([]float64(nil), x...))
+	if s.capacity > 0 && len(s.vectors) > s.capacity {
+		evict := len(s.vectors) - s.capacity
+		s.vectors = append([][]float64(nil), s.vectors[evict:]...)
+		s.dropped += int64(evict)
+	}
+	return s.dropped + int64(len(s.vectors)-1)
+}
+
+// Len returns the number of stored samples.
+func (s *SampleStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.vectors)
+}
+
+// Gather materializes the samples with the given IDs as a batch matrix
+// (nil when ids is empty). Unknown or evicted IDs are skipped.
+func (s *SampleStore) Gather(ids []int64) *tensor.Matrix {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var rows [][]float64
+	for _, id := range ids {
+		idx := id - s.dropped
+		if id >= 0 && idx >= 0 && idx < int64(len(s.vectors)) {
+			rows = append(rows, s.vectors[idx])
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	m := tensor.New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Config parameterizes the cloud service.
+type Config struct {
+	// RCAMode selects the analysis variant (rca.Full is Nazar).
+	RCAMode rca.Mode
+	// Thresholds are the FIM thresholds.
+	Thresholds fim.Thresholds
+	// AdaptCfg is the adaptation configuration (TENT by default).
+	AdaptCfg adapt.Config
+	// MinSamplesPerCause skips adaptation for causes with too few
+	// uploaded samples.
+	MinSamplesPerCause int
+	// AdaptClean also re-adapts the clean model on non-cause samples
+	// each window (the "continuously adapted clean model" of §3.4).
+	AdaptClean bool
+	// LogRetention, when positive, compacts drift-log rows older than
+	// this duration (relative to each analysis run's `now`) before the
+	// analysis, bounding log growth. Note that retention interacts with
+	// cumulative analysis: compacted history no longer supports causes.
+	LogRetention time.Duration
+}
+
+// DefaultConfig returns the paper-default cloud configuration.
+func DefaultConfig() Config {
+	th := fim.DefaultThresholds()
+	// The model version is logged for observability, not as a candidate
+	// cause attribute: mining it produces degenerate causes tied to
+	// version IDs.
+	th.ExcludeAttrs = []string{driftlog.AttrModel}
+	ac := adapt.DefaultConfig()
+	ac.MinSteps = 30
+	return Config{
+		RCAMode:            rca.Full,
+		Thresholds:         th,
+		AdaptCfg:           ac,
+		MinSamplesPerCause: 16,
+		AdaptClean:         true,
+	}
+}
+
+// sampleMeta records the attributes a sample arrived with, so samples can
+// be grouped by cause (or by "no cause" for clean adaptation).
+type sampleMeta struct {
+	id    int64
+	attrs map[string]string
+	t     time.Time
+}
+
+// Service is the cloud side of Nazar.
+type Service struct {
+	cfg Config
+
+	mu      sync.Mutex
+	log     *driftlog.Store
+	samples *SampleStore
+	meta    []sampleMeta
+	base    *nn.Network
+	// versionSeq disambiguates version IDs across windows.
+	versionSeq int
+	// deployed is the history of every version produced, in order.
+	deployed []adapt.BNVersion
+	// alerter, when set, receives one alert per diagnosed cause.
+	alerter Alerter
+	// refBN is the initial base's BN state, pinned as the delta
+	// reference for compressed version transfer.
+	refBN *nn.BNSnapshot
+}
+
+// NewService creates the service around the initial trained model.
+func NewService(base *nn.Network, cfg Config) *Service {
+	if cfg.Thresholds.MaxItems == 0 {
+		cfg.Thresholds = fim.DefaultThresholds()
+	}
+	if cfg.MinSamplesPerCause <= 0 {
+		cfg.MinSamplesPerCause = 16
+	}
+	return &Service{
+		cfg:     cfg,
+		log:     driftlog.NewStore(),
+		samples: NewSampleStore(),
+		base:    base,
+		refBN:   nn.CaptureBN(base),
+	}
+}
+
+// ReferenceBN returns the pinned BN state of the *initial* base model —
+// the stable reference both ends use for delta-compressed version
+// transfer. (The live base evolves with clean adaptation; the reference
+// does not.)
+func (s *Service) ReferenceBN() *nn.BNSnapshot { return s.refBN }
+
+// Log exposes the drift log (read-mostly; used by experiments and the
+// HTTP API).
+func (s *Service) Log() *driftlog.Store { return s.log }
+
+// Samples exposes the sample store.
+func (s *Service) Samples() *SampleStore { return s.samples }
+
+// Base returns the current clean model.
+func (s *Service) Base() *nn.Network {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base
+}
+
+// Ingest records a drift-log entry, storing the sample (if any) and
+// linking it to the entry.
+func (s *Service) Ingest(e driftlog.Entry, sample []float64) {
+	if sample != nil {
+		id := s.samples.Add(sample)
+		e.SampleID = id
+		s.mu.Lock()
+		s.meta = append(s.meta, sampleMeta{id: id, attrs: e.Attrs, t: e.Time})
+		s.mu.Unlock()
+	} else if e.SampleID != -1 {
+		e.SampleID = -1
+	}
+	s.log.Append(e)
+}
+
+// WindowResult is the outcome of one analysis/adaptation cycle.
+type WindowResult struct {
+	Causes   []rca.Cause
+	Versions []adapt.BNVersion
+	// LogRows is the number of drift-log rows scanned.
+	LogRows int
+	// RCADuration and AdaptDuration decompose the cycle's latency
+	// (§5.8: analysis seconds vs adaptation minutes).
+	RCADuration   time.Duration
+	AdaptDuration time.Duration
+}
+
+// RunWindow executes one cycle of Nazar's cloud loop over drift-log rows
+// in [from, to): root-cause analysis, per-cause adaptation (plus clean
+// re-adaptation), returning the versions to deploy. now stamps the
+// produced versions.
+func (s *Service) RunWindow(from, to, now time.Time) (WindowResult, error) {
+	var res WindowResult
+	if s.cfg.LogRetention > 0 {
+		s.log.Compact(now.Add(-s.cfg.LogRetention))
+	}
+	v := s.log.Window(from, to)
+	res.LogRows = v.Len()
+
+	rcaStart := time.Now()
+	causes, err := rca.Analyze(v, rca.Config{Thresholds: s.cfg.Thresholds}, s.cfg.RCAMode)
+	if err != nil {
+		return res, fmt.Errorf("cloud: analysis: %w", err)
+	}
+	res.RCADuration = time.Since(rcaStart)
+	res.Causes = causes
+	s.alertCauses(causes, from, to, now)
+
+	adaptStart := time.Now()
+	base := s.Base()
+
+	source := func(c rca.Cause) *tensor.Matrix {
+		ids, err := v.SampleIDs(c.Items)
+		if err != nil {
+			return nil
+		}
+		return s.samples.Gather(ids)
+	}
+	versions, err := adapt.ByCause(base, causes, source, s.cfg.MinSamplesPerCause, s.cfg.AdaptCfg, now)
+	if err != nil {
+		return res, fmt.Errorf("cloud: by-cause adaptation: %w", err)
+	}
+
+	if s.cfg.AdaptClean {
+		if cleanX := s.cleanSamples(causes, from, to); cleanX != nil && cleanX.Rows >= s.cfg.MinSamplesPerCause {
+			adapted, err := adapt.Adapt(base, cleanX, s.cfg.AdaptCfg)
+			if err != nil {
+				return res, fmt.Errorf("cloud: clean adaptation: %w", err)
+			}
+			s.mu.Lock()
+			s.base = adapted
+			s.versionSeq++
+			seq := s.versionSeq
+			s.mu.Unlock()
+			versions = append(versions, adapt.BNVersion{
+				ID:        fmt.Sprintf("clean@%d#%d", now.Unix(), seq),
+				Snapshot:  nn.CaptureBN(adapted),
+				CreatedAt: now,
+			})
+		}
+	}
+	res.AdaptDuration = time.Since(adaptStart)
+	res.Versions = versions
+	s.mu.Lock()
+	s.deployed = append(s.deployed, versions...)
+	s.mu.Unlock()
+	return res, nil
+}
+
+// VersionsSince returns every produced version with CreatedAt ≥ since
+// (devices poll this to pull new deployments).
+func (s *Service) VersionsSince(since time.Time) []adapt.BNVersion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []adapt.BNVersion
+	for _, v := range s.deployed {
+		if !v.CreatedAt.Before(since) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SaveLog persists the drift log to path (atomic write).
+func (s *Service) SaveLog(path string) error { return s.log.SaveFile(path) }
+
+// LoadLog appends previously persisted drift-log rows from path. Sample
+// links are preserved only if the sample store is restored separately;
+// otherwise stale IDs simply gather nothing.
+func (s *Service) LoadLog(path string) error { return s.log.LoadFile(path) }
+
+// cleanSamples gathers in-window samples whose attributes match no
+// discovered cause.
+func (s *Service) cleanSamples(causes []rca.Cause, from, to time.Time) *tensor.Matrix {
+	s.mu.Lock()
+	metas := append([]sampleMeta(nil), s.meta...)
+	s.mu.Unlock()
+	var ids []int64
+	for _, m := range metas {
+		if !from.IsZero() && m.t.Before(from) {
+			continue
+		}
+		if !to.IsZero() && !m.t.Before(to) {
+			continue
+		}
+		if rca.AssignCause(causes, m.attrs) == -1 {
+			ids = append(ids, m.id)
+		}
+	}
+	return s.samples.Gather(ids)
+}

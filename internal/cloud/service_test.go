@@ -1,0 +1,299 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"nazar/internal/adapt"
+	"nazar/internal/driftlog"
+	"nazar/internal/imagesim"
+	"nazar/internal/nn"
+	"nazar/internal/rca"
+	"nazar/internal/tensor"
+	"nazar/internal/weather"
+)
+
+func TestSampleStore(t *testing.T) {
+	s := NewSampleStore()
+	id1 := s.Add([]float64{1, 2})
+	id2 := s.Add([]float64{3, 4})
+	if id1 != 0 || id2 != 1 || s.Len() != 2 {
+		t.Fatalf("ids %d %d len %d", id1, id2, s.Len())
+	}
+	m := s.Gather([]int64{id2, id1, 99, -1})
+	if m.Rows != 2 || m.At(0, 0) != 3 || m.At(1, 0) != 1 {
+		t.Fatalf("gather %v", m)
+	}
+	if s.Gather(nil) != nil {
+		t.Fatal("empty gather should be nil")
+	}
+}
+
+func TestIngestLinksSamples(t *testing.T) {
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 4, tensor.NewRand(1, 1))
+	svc := NewService(base, DefaultConfig())
+	e := driftlog.Entry{Time: time.Now(), Drift: true,
+		Attrs: map[string]string{driftlog.AttrWeather: "fog"}}
+	svc.Ingest(e, []float64{1, 2, 3})
+	svc.Ingest(driftlog.Entry{Time: time.Now(), Drift: false, SampleID: 77,
+		Attrs: map[string]string{driftlog.AttrWeather: "clear-day"}}, nil)
+
+	if svc.Samples().Len() != 1 {
+		t.Fatalf("samples %d", svc.Samples().Len())
+	}
+	if got := svc.Log().Entry(0).SampleID; got != 0 {
+		t.Fatalf("entry 0 sample id %d", got)
+	}
+	if got := svc.Log().Entry(1).SampleID; got != -1 {
+		t.Fatalf("entry 1 sample id %d (must be normalized to -1)", got)
+	}
+}
+
+// buildWorkload streams fog-drifted and clean inputs into the service
+// from two locations, as if devices had reported them.
+func buildWorkload(t *testing.T, svc *Service, world *imagesim.World, net *nn.Network, n int) {
+	t.Helper()
+	rng := tensor.NewRand(500, 1)
+	day := weather.Day(10)
+	for i := 0; i < n; i++ {
+		c := i % world.Classes()
+		x := world.Sample(c, rng)
+		cond := "clear-day"
+		if i%2 == 0 {
+			x = world.Corrupt(x, imagesim.Fog, imagesim.DefaultSeverity, rng)
+			cond = "fog"
+		}
+		logits := net.LogitsOne(x)
+		msp := tensor.Softmax(logits)
+		_, maxp := tensor.ArgMax(msp)
+		entry := driftlog.Entry{
+			Time:  day.Add(time.Duration(i) * time.Minute),
+			Drift: maxp < 0.9,
+			Attrs: map[string]string{
+				driftlog.AttrWeather:  cond,
+				driftlog.AttrLocation: []string{"Hamburg", "Zurich", "Bremen"}[i%3],
+				driftlog.AttrDevice:   "dev",
+			},
+		}
+		svc.Ingest(entry, x)
+	}
+}
+
+func trainBase(world *imagesim.World, seed uint64) *nn.Network {
+	rng := tensor.NewRand(seed, 2)
+	n := 400
+	x := tensor.New(n, world.Dim())
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		y[i] = i % world.Classes()
+		copy(x.Row(i), world.Sample(y[i], rng))
+	}
+	net := nn.NewClassifier(nn.ArchResNet34, world.Dim(), world.Classes(), rng)
+	nn.Fit(net, x, y, nn.TrainConfig{Epochs: 15, BatchSize: 32, Rng: rng})
+	return net
+}
+
+func TestRunWindowEndToEnd(t *testing.T) {
+	world := imagesim.NewWorld(imagesim.DefaultConfig(10, 321))
+	base := trainBase(world, 321)
+	cfg := DefaultConfig()
+	cfg.MinSamplesPerCause = 8
+	cfg.AdaptCfg.Epochs = 1
+	svc := NewService(base, cfg)
+	buildWorkload(t, svc, world, base, 400)
+
+	res, err := svc.RunWindow(weather.Day(10), weather.Day(11), weather.Day(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogRows != 400 {
+		t.Fatalf("log rows %d", res.LogRows)
+	}
+	// Fog must be identified as a cause.
+	foundFog := false
+	for _, c := range res.Causes {
+		for _, cond := range c.Items {
+			if cond.Attr == driftlog.AttrWeather && cond.Value == "fog" {
+				foundFog = true
+			}
+		}
+	}
+	if !foundFog {
+		t.Fatalf("fog not identified; causes %v", res.Causes)
+	}
+	// At least one fog version and the clean refresh version.
+	var fogVersion, cleanVersion *adapt.BNVersion
+	for i := range res.Versions {
+		v := &res.Versions[i]
+		if v.IsClean() {
+			cleanVersion = v
+		} else if v.Cause.Matches(map[string]string{driftlog.AttrWeather: "fog"}) {
+			fogVersion = v
+		}
+	}
+	if fogVersion == nil {
+		t.Fatalf("no fog version; versions %v", len(res.Versions))
+	}
+	if cleanVersion == nil {
+		t.Fatal("no clean refresh version")
+	}
+	if res.RCADuration <= 0 || res.AdaptDuration <= 0 {
+		t.Fatal("durations not measured")
+	}
+
+	// The fog version must improve fog accuracy over the original base.
+	rng := tensor.NewRand(999, 1)
+	testN := 160
+	fogX := tensor.New(testN, world.Dim())
+	labels := make([]int, testN)
+	for i := 0; i < testN; i++ {
+		labels[i] = i % world.Classes()
+		copy(fogX.Row(i), world.Corrupt(world.Sample(labels[i], rng), imagesim.Fog, imagesim.DefaultSeverity, rng))
+	}
+	fogNet, err := adapt.Materialize(base, *fogVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before, after := base.Accuracy(fogX, labels), fogNet.Accuracy(fogX, labels); after <= before {
+		t.Fatalf("fog version did not improve: %v -> %v", before, after)
+	}
+}
+
+func TestRunWindowEmptyLog(t *testing.T) {
+	world := imagesim.NewWorld(imagesim.DefaultConfig(4, 7))
+	base := nn.NewClassifier(nn.ArchResNet18, world.Dim(), 4, tensor.NewRand(7, 1))
+	svc := NewService(base, DefaultConfig())
+	res, err := svc.RunWindow(time.Time{}, time.Time{}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Causes) != 0 || len(res.Versions) != 0 {
+		t.Fatal("empty log must produce nothing")
+	}
+}
+
+func TestCleanAdaptationMovesBase(t *testing.T) {
+	world := imagesim.NewWorld(imagesim.DefaultConfig(6, 31))
+	base := trainBase(world, 31)
+	cfg := DefaultConfig()
+	cfg.MinSamplesPerCause = 4
+	cfg.AdaptCfg.Epochs = 1
+	svc := NewService(base, cfg)
+
+	// Only clean traffic (no causes), sampled.
+	rng := tensor.NewRand(32, 1)
+	day := weather.Day(3)
+	for i := 0; i < 64; i++ {
+		x := world.Sample(i%6, rng)
+		svc.Ingest(driftlog.Entry{
+			Time: day.Add(time.Duration(i) * time.Minute), Drift: false,
+			Attrs: map[string]string{driftlog.AttrWeather: "clear-day", driftlog.AttrLocation: "Hamburg"},
+		}, x)
+	}
+	res, err := svc.RunWindow(day, day.AddDate(0, 0, 1), day.AddDate(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Causes) != 0 {
+		t.Fatalf("no causes expected, got %v", res.Causes)
+	}
+	if len(res.Versions) != 1 || !res.Versions[0].IsClean() {
+		t.Fatalf("expected exactly the clean refresh, got %d versions", len(res.Versions))
+	}
+	if svc.Base() == base {
+		t.Fatal("clean adaptation should replace the service base")
+	}
+	_ = rca.Full // keep import used if assertions change
+}
+
+func TestRCAModeRespected(t *testing.T) {
+	world := imagesim.NewWorld(imagesim.DefaultConfig(10, 321))
+	base := trainBase(world, 321)
+	counts := map[rca.Mode]int{}
+	for _, mode := range []rca.Mode{rca.FIMOnly, rca.Full} {
+		cfg := DefaultConfig()
+		cfg.RCAMode = mode
+		cfg.AdaptClean = false
+		cfg.AdaptCfg.Epochs = 1
+		svc := NewService(base, cfg)
+		buildWorkload(t, svc, world, base, 300)
+		res, err := svc.RunWindow(weather.Day(10), weather.Day(11), weather.Day(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[mode] = len(res.Causes)
+	}
+	if counts[rca.FIMOnly] < counts[rca.Full] {
+		t.Fatalf("FIM-only causes %d < full %d", counts[rca.FIMOnly], counts[rca.Full])
+	}
+}
+
+func TestServiceLogPersistence(t *testing.T) {
+	world := imagesim.NewWorld(imagesim.DefaultConfig(6, 31))
+	base := nn.NewClassifier(nn.ArchResNet18, world.Dim(), 6, tensor.NewRand(31, 1))
+	svc := NewService(base, DefaultConfig())
+	rng := tensor.NewRand(32, 1)
+	for i := 0; i < 20; i++ {
+		svc.Ingest(driftlog.Entry{
+			Time: weather.Day(1).Add(time.Duration(i) * time.Minute), Drift: i%2 == 0,
+			Attrs: map[string]string{driftlog.AttrWeather: "rain"},
+		}, world.Sample(i%6, rng))
+	}
+	path := t.TempDir() + "/drift.log"
+	if err := svc.SaveLog(path); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewService(base, DefaultConfig())
+	if err := fresh.LoadLog(path); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Log().Len() != 20 {
+		t.Fatalf("restored %d rows", fresh.Log().Len())
+	}
+}
+
+func TestBoundedSampleStore(t *testing.T) {
+	s := NewBoundedSampleStore(3)
+	var ids []int64
+	for i := 0; i < 5; i++ {
+		ids = append(ids, s.Add([]float64{float64(i)}))
+	}
+	// IDs are stable and monotonically increasing despite eviction.
+	for i, id := range ids {
+		if id != int64(i) {
+			t.Fatalf("id %d = %d", i, id)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len %d", s.Len())
+	}
+	// Evicted IDs gather nothing; recent ones survive.
+	if m := s.Gather(ids[:2]); m != nil {
+		t.Fatal("evicted samples should be gone")
+	}
+	m := s.Gather(ids[2:])
+	if m == nil || m.Rows != 3 || m.At(0, 0) != 2 || m.At(2, 0) != 4 {
+		t.Fatalf("gather %+v", m)
+	}
+}
+
+func TestLogRetentionCompacts(t *testing.T) {
+	world := imagesim.NewWorld(imagesim.DefaultConfig(6, 31))
+	base := nn.NewClassifier(nn.ArchResNet18, world.Dim(), 6, tensor.NewRand(31, 1))
+	cfg := DefaultConfig()
+	cfg.LogRetention = 48 * time.Hour
+	svc := NewService(base, cfg)
+	for d := 0; d < 10; d++ {
+		svc.Ingest(driftlog.Entry{
+			Time: weather.Day(d), Drift: false,
+			Attrs: map[string]string{driftlog.AttrWeather: "clear-day"},
+		}, nil)
+	}
+	if _, err := svc.RunWindow(time.Time{}, time.Time{}, weather.Day(10)); err != nil {
+		t.Fatal(err)
+	}
+	// Only days 8 and 9 survive a 48h retention at now = day 10.
+	if got := svc.Log().Len(); got != 2 {
+		t.Fatalf("retained %d rows, want 2", got)
+	}
+}

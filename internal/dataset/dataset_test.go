@@ -1,0 +1,219 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"nazar/internal/imagesim"
+	"nazar/internal/nn"
+	"nazar/internal/tensor"
+	"nazar/internal/weather"
+)
+
+func TestCityscapesSplitsMatchEkyaRatios(t *testing.T) {
+	cfg := CityscapesConfig{Total: 2000, Devices: 2, Seed: 1}
+	ds := NewCityscapes(cfg)
+	if ds.Train.Len() != 280 { // 14%
+		t.Fatalf("train = %d, want 280", ds.Train.Len())
+	}
+	if ds.Val.Len() != 120 { // 6%
+		t.Fatalf("val = %d, want 120", ds.Val.Len())
+	}
+	if len(ds.Stream) != 1600 { // 80%
+		t.Fatalf("stream = %d, want 1600", len(ds.Stream))
+	}
+	if ds.World.Classes() != len(CityscapesClasses) {
+		t.Fatal("class count mismatch")
+	}
+}
+
+func TestCityscapesStreamProperties(t *testing.T) {
+	ds := NewCityscapes(CityscapesConfig{Total: 1000, Devices: 3, Seed: 2})
+	last := ds.Stream[0].Time
+	locs := map[string]bool{}
+	devs := map[string]bool{}
+	for _, it := range ds.Stream {
+		if it.Time.Before(last) {
+			t.Fatal("stream not time-sorted")
+		}
+		last = it.Time
+		if it.Time.Before(weather.Start) || it.Time.After(weather.End.AddDate(0, 0, 1)) {
+			t.Fatalf("timestamp %v outside window", it.Time)
+		}
+		locs[it.Location] = true
+		devs[it.DeviceID] = true
+		if it.Class < 0 || it.Class >= ds.World.Classes() {
+			t.Fatalf("class %d out of range", it.Class)
+		}
+		if len(it.X) != ds.World.Dim() {
+			t.Fatal("bad feature dim")
+		}
+	}
+	if len(locs) != len(weather.CityscapesLocations) {
+		t.Fatalf("saw %d locations", len(locs))
+	}
+	if len(devs) != len(weather.CityscapesLocations)*3 {
+		t.Fatalf("saw %d devices, want %d", len(devs), len(weather.CityscapesLocations)*3)
+	}
+}
+
+func TestAnimalsPerClassSplits(t *testing.T) {
+	cfg := AnimalsConfig{Classes: 10, TrainPerClass: 5, ValPerClass: 2,
+		DevicesPerLocation: 2, ArrivalMeanPerDay: 1, DayLimit: 10, Seed: 3}
+	ds := NewAnimals(cfg)
+	if ds.Train.Len() != 50 || ds.Val.Len() != 20 {
+		t.Fatalf("splits %d/%d", ds.Train.Len(), ds.Val.Len())
+	}
+	counts := map[int]int{}
+	for _, c := range ds.Train.Labels {
+		counts[c]++
+	}
+	for c := 0; c < 10; c++ {
+		if counts[c] != 5 {
+			t.Fatalf("class %d has %d train examples", c, counts[c])
+		}
+	}
+}
+
+func TestAnimalsPoissonArrivalVolume(t *testing.T) {
+	cfg := AnimalsConfig{Classes: 8, TrainPerClass: 2, ValPerClass: 1,
+		DevicesPerLocation: 4, ArrivalMeanPerDay: 2, DayLimit: 20, Seed: 4}
+	ds := NewAnimals(cfg)
+	expected := float64(len(weather.AnimalsLocations) * 4 * 20 * 2)
+	got := float64(len(ds.Stream))
+	if got < expected*0.8 || got > expected*1.2 {
+		t.Fatalf("stream size %v, expected around %v", got, expected)
+	}
+}
+
+func TestAnimalsZipfSkew(t *testing.T) {
+	uniform := locationClassDist(20, 0, 1, "New York")
+	skewed := locationClassDist(20, 1.5, 1, "New York")
+	for _, p := range uniform {
+		if math.Abs(p-0.05) > 1e-12 {
+			t.Fatalf("alpha=0 should be uniform, got %v", p)
+		}
+	}
+	// Skewed distribution concentrates: top class probability far
+	// above uniform.
+	var maxP, sum float64
+	for _, p := range skewed {
+		sum += p
+		if p > maxP {
+			maxP = p
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+	if maxP < 0.15 {
+		t.Fatalf("alpha=1.5 max prob %v, want > 0.15", maxP)
+	}
+}
+
+func TestZipfPermutationVariesByLocation(t *testing.T) {
+	a := locationClassDist(30, 1, 7, "Beijing")
+	b := locationClassDist(30, 1, 7, "Quebec")
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different locations must rank classes differently")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewAnimals(AnimalsConfig{Classes: 6, TrainPerClass: 3, ValPerClass: 1,
+		DevicesPerLocation: 1, ArrivalMeanPerDay: 1, DayLimit: 5, Seed: 9})
+	b := NewAnimals(AnimalsConfig{Classes: 6, TrainPerClass: 3, ValPerClass: 1,
+		DevicesPerLocation: 1, ArrivalMeanPerDay: 1, DayLimit: 5, Seed: 9})
+	if len(a.Stream) != len(b.Stream) {
+		t.Fatal("stream sizes differ")
+	}
+	for i := range a.Stream {
+		if a.Stream[i].Class != b.Stream[i].Class || !a.Stream[i].Time.Equal(b.Stream[i].Time) {
+			t.Fatal("streams differ under same seed")
+		}
+	}
+}
+
+func TestWindowSlices(t *testing.T) {
+	ds := NewCityscapes(CityscapesConfig{Total: 800, Devices: 1, Seed: 10})
+	wins := ds.WindowSlices(8)
+	total := 0
+	for i, w := range wins {
+		total += len(w)
+		if len(w) == 0 {
+			t.Fatalf("window %d empty", i)
+		}
+	}
+	if total != len(ds.Stream) {
+		t.Fatalf("windows cover %d of %d", total, len(ds.Stream))
+	}
+	// Windows must be in time order end-to-end.
+	var prev = wins[0][0].Time
+	for _, w := range wins {
+		for _, it := range w {
+			if it.Time.Before(prev) {
+				t.Fatal("window items out of order")
+			}
+			prev = it.Time
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := tensor.NewRand(11, 11)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(poisson(2, rng))
+	}
+	mean := sum / n
+	if math.Abs(mean-2) > 0.06 {
+		t.Fatalf("poisson mean %v, want ~2", mean)
+	}
+}
+
+// TestCalibrationCleanAccuracy is the key substrate-calibration check:
+// models trained on the synthetic worlds must land in the paper's clean
+// accuracy band, per-class accuracy must spread widely (Fig. 5b), and a
+// severity-3 corruption must knock accuracy down hard.
+func TestCalibrationCleanAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	ds := NewAnimals(AnimalsConfig{Classes: 30, TrainPerClass: 60, ValPerClass: 20,
+		DevicesPerLocation: 1, ArrivalMeanPerDay: 1, DayLimit: 1, Seed: 42})
+	rng := tensor.NewRand(42, 99)
+	net := nn.NewClassifier(nn.ArchResNet50, ds.World.Dim(), ds.World.Classes(), rng)
+	nn.Fit(net, ds.Train.X, ds.Train.Labels, nn.TrainConfig{Epochs: 30, BatchSize: 32, Rng: rng})
+
+	clean := net.Accuracy(ds.Val.X, ds.Val.Labels)
+	if clean < 0.60 || clean > 0.97 {
+		t.Fatalf("clean val accuracy %v outside calibrated band [0.60, 0.97]", clean)
+	}
+
+	acc, present := nn.PerClassAccuracy(net, ds.Val.X, ds.Val.Labels, ds.World.Classes())
+	lo, hi := 1.0, 0.0
+	for c, ok := range present {
+		if !ok {
+			continue
+		}
+		lo = math.Min(lo, acc[c])
+		hi = math.Max(hi, acc[c])
+	}
+	if hi-lo < 0.25 {
+		t.Fatalf("per-class accuracy spread %v–%v too narrow for Fig 5b", lo, hi)
+	}
+
+	corrupted := ds.World.CorruptBatch(ds.Val.X, imagesim.Fog, imagesim.DefaultSeverity, rng)
+	corrAcc := net.Accuracy(corrupted, ds.Val.Labels)
+	if corrAcc > clean-0.10 {
+		t.Fatalf("fog severity 3 should cost >= 10 points: clean %v corrupted %v", clean, corrAcc)
+	}
+}

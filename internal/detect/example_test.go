@@ -1,0 +1,39 @@
+package detect_test
+
+import (
+	"fmt"
+
+	"nazar/internal/detect"
+)
+
+// ExampleThreshold shows Nazar's on-device detector: the max softmax
+// probability of each inference is compared against a threshold.
+func ExampleThreshold() {
+	d := detect.NewMSPThreshold() // MSP < 0.9 flags drift
+
+	confident := []float64{9.0, 0.1, 0.2} // peaked softmax
+	uncertain := []float64{0.4, 0.3, 0.5} // near-uniform softmax
+
+	fmt.Println("confident inference drifted:", d.Detect(confident))
+	fmt.Println("uncertain inference drifted:", d.Detect(uncertain))
+	// Output:
+	// confident inference drifted: false
+	// uncertain inference drifted: true
+}
+
+// ExampleKSTest shows the batched statistical detector: a batch of
+// confidence scores is compared against a clean reference distribution.
+func ExampleKSTest() {
+	clean := []float64{0.90, 0.92, 0.94, 0.95, 0.96, 0.97, 0.98, 0.99}
+	ks, err := detect.NewKSTest(clean, 0.05)
+	if err != nil {
+		panic(err)
+	}
+	inDistribution := []float64{0.91, 0.95, 0.97, 0.98}
+	drifted := []float64{0.30, 0.35, 0.40, 0.45}
+	fmt.Println("in-distribution batch drifted:", ks.DetectBatch(inDistribution))
+	fmt.Println("low-confidence batch drifted:", ks.DetectBatch(drifted))
+	// Output:
+	// in-distribution batch drifted: false
+	// low-confidence batch drifted: true
+}

@@ -1,0 +1,83 @@
+package device
+
+import (
+	"sync"
+	"time"
+
+	"nazar/internal/detect"
+)
+
+// BatchDetector is the on-device variant of the KS-test detection mode
+// the paper evaluates (and ultimately rejects) in §3.2.2. It buffers the
+// device's recent confidence scores and, once a full batch within the
+// time window accumulates, assigns the batch's KS verdict to every
+// inference in it.
+//
+// It exists to make the paper's "thorny questions" concrete and
+// measurable: verdicts arrive with up to BatchSize inferences of delay
+// (or never, on a quiet device whose batch never fills before Window
+// expires), which is exactly why the shipped default is the per-inference
+// threshold.
+type BatchDetector struct {
+	ks *detect.KSTest
+	// BatchSize is the number of scores per verdict.
+	BatchSize int
+	// Window caps how long scores may wait for batch-mates; older
+	// scores are dropped unjudged.
+	Window time.Duration
+
+	mu      sync.Mutex
+	times   []time.Time
+	scores  []float64
+	pending int // inferences dropped without a verdict
+	batches int
+}
+
+// NewBatchDetector wraps a calibrated KS test.
+func NewBatchDetector(ks *detect.KSTest, batchSize int, window time.Duration) *BatchDetector {
+	if batchSize < 2 {
+		batchSize = 2
+	}
+	if window <= 0 {
+		window = 24 * time.Hour
+	}
+	return &BatchDetector{ks: ks, BatchSize: batchSize, Window: window}
+}
+
+// Observe buffers one inference's confidence score. When the buffer
+// reaches BatchSize, it returns the batch verdict and true; otherwise it
+// returns false (no verdict yet). Scores older than Window are evicted
+// (and counted as never judged).
+func (b *BatchDetector) Observe(t time.Time, score float64) (drift, decided bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Evict expired scores.
+	cutoff := t.Add(-b.Window)
+	drop := 0
+	for drop < len(b.times) && b.times[drop].Before(cutoff) {
+		drop++
+	}
+	if drop > 0 {
+		b.pending += drop
+		b.times = b.times[drop:]
+		b.scores = b.scores[drop:]
+	}
+	b.times = append(b.times, t)
+	b.scores = append(b.scores, score)
+	if len(b.scores) < b.BatchSize {
+		return false, false
+	}
+	verdict := b.ks.DetectBatch(b.scores)
+	b.times = b.times[:0]
+	b.scores = b.scores[:0]
+	b.batches++
+	return verdict, true
+}
+
+// Stats reports how many batches were judged and how many scores expired
+// unjudged — the detection-latency cost of batching.
+func (b *BatchDetector) Stats() (batches, expiredUnjudged, buffered int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.batches, b.pending, len(b.scores)
+}

@@ -1,0 +1,123 @@
+// Package device simulates the on-device half of Nazar: per-input model
+// version selection from the local pool, inference, lightweight MSP drift
+// detection, drift-log entry emission with device metadata, and sampled
+// input upload.
+//
+// A Device is what the paper's SDK embeds in a mobile app; the fleet
+// simulator drives many of them against the streaming workloads.
+package device
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"nazar/internal/detect"
+	"nazar/internal/driftlog"
+	"nazar/internal/nn"
+	"nazar/internal/registry"
+	"nazar/internal/tensor"
+)
+
+// Config parameterizes one device.
+type Config struct {
+	ID       string
+	Location string
+	// PoolCapacity caps the number of adapted BN versions kept locally
+	// (0 = unlimited).
+	PoolCapacity int
+	// SampleRate is the fraction of inputs uploaded to the cloud for
+	// adaptation.
+	SampleRate float64
+	// Detector is the on-device drift detector (defaults to the MSP
+	// threshold at 0.9).
+	Detector detect.Detector
+	// TraceCapacity sizes the inference trace ring buffer (default
+	// 128).
+	TraceCapacity int
+	Rng           *rand.Rand
+}
+
+// Device is one simulated mobile device.
+type Device struct {
+	ID       string
+	Location string
+	Pool     *registry.Pool
+	// Trace records recent inferences for support debugging.
+	Trace    *Trace
+	detector detect.Detector
+	rate     float64
+	rng      *rand.Rand
+}
+
+// New creates a device around a base model. The base network may be
+// shared read-only across devices; installs clone it before mutating.
+func New(cfg Config, base *nn.Network) *Device {
+	if cfg.Detector == nil {
+		cfg.Detector = detect.NewMSPThreshold()
+	}
+	if cfg.Rng == nil {
+		cfg.Rng = tensor.NewRand(0xDEF1CE, 1)
+	}
+	return &Device{
+		ID:       cfg.ID,
+		Location: cfg.Location,
+		Pool:     registry.NewPool(base, cfg.PoolCapacity),
+		Trace:    NewTrace(cfg.TraceCapacity),
+		detector: cfg.Detector,
+		rate:     cfg.SampleRate,
+		rng:      cfg.Rng,
+	}
+}
+
+// Inference is the outcome of one on-device prediction.
+type Inference struct {
+	Predicted int
+	MSP       float64
+	Drift     bool
+	// VersionID is the adapted version used ("" = clean model).
+	VersionID string
+	// Sampled reports whether the input was uploaded.
+	Sampled bool
+}
+
+// Infer selects a model version for the input's metadata, runs inference
+// and the drift detector, and returns both the inference and the
+// drift-log entry to report (sample is nil when not uploaded).
+func (d *Device) Infer(t time.Time, x []float64, attrs map[string]string) (Inference, driftlog.Entry, []float64) {
+	merged := map[string]string{
+		driftlog.AttrDevice:   d.ID,
+		driftlog.AttrLocation: d.Location,
+	}
+	for k, v := range attrs {
+		merged[k] = v
+	}
+	net, versionID := d.Pool.Select(merged)
+	logits := net.LogitsOne(x)
+	pred, _ := tensor.ArgMax(logits)
+	msp := detect.MSP{}.Score(logits)
+	drift := d.detector.Detect(logits)
+
+	inf := Inference{Predicted: pred, MSP: msp, Drift: drift, VersionID: versionID}
+	d.Trace.Record(TraceRecord{Time: t, Predicted: pred, MSP: msp, Drift: drift, VersionID: versionID})
+	var sample []float64
+	if d.rate > 0 && d.rng.Float64() < d.rate {
+		inf.Sampled = true
+		sample = append([]float64(nil), x...)
+	}
+	merged[driftlog.AttrModel] = modelAttr(versionID)
+	entry := driftlog.Entry{
+		Time:     t,
+		Attrs:    merged,
+		Drift:    drift,
+		SampleID: -1, // assigned by the cloud on ingest when sample != nil
+	}
+	return inf, entry, sample
+}
+
+// modelAttr normalizes the version ID for the drift log's model column.
+func modelAttr(versionID string) string {
+	if versionID == "" {
+		return "clean"
+	}
+	return versionID
+}

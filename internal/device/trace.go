@@ -1,0 +1,103 @@
+package device
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceRecord is one inference's observability record.
+type TraceRecord struct {
+	Time      time.Time
+	Predicted int
+	MSP       float64
+	Drift     bool
+	VersionID string // "" = clean model
+}
+
+// Trace is a fixed-capacity ring buffer of recent inference records plus
+// running summary statistics — the on-device visibility layer (the paper
+// contrasts Nazar with ML-EXray-style instrumentation; this is the small
+// slice of it a production device SDK would keep for support debugging).
+type Trace struct {
+	mu   sync.Mutex
+	ring []TraceRecord
+	next int
+	full bool
+
+	total     int
+	drifted   int
+	perModel  map[string]int
+	mspSum    float64
+	mspSumLow float64 // sum of MSP over drift-flagged inferences
+}
+
+// NewTrace returns a trace keeping the most recent capacity records.
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 128
+	}
+	return &Trace{ring: make([]TraceRecord, capacity), perModel: map[string]int{}}
+}
+
+// Record appends one inference.
+func (t *Trace) Record(r TraceRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.next] = r
+	t.next = (t.next + 1) % len(t.ring)
+	if t.next == 0 {
+		t.full = true
+	}
+	t.total++
+	t.mspSum += r.MSP
+	if r.Drift {
+		t.drifted++
+		t.mspSumLow += r.MSP
+	}
+	key := r.VersionID
+	if key == "" {
+		key = "clean"
+	}
+	t.perModel[key]++
+}
+
+// Recent returns the buffered records, oldest first.
+func (t *Trace) Recent() []TraceRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]TraceRecord(nil), t.ring[:t.next]...)
+	}
+	out := make([]TraceRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Summary is the trace's aggregate view.
+type Summary struct {
+	Total         int
+	DriftRate     float64
+	MeanMSP       float64
+	MeanMSPOnDrft float64
+	PerModel      map[string]int
+}
+
+// Summarize returns aggregate statistics over the device's lifetime (not
+// just the buffered window).
+func (t *Trace) Summarize() Summary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Summary{Total: t.total, PerModel: map[string]int{}}
+	for k, v := range t.perModel {
+		s.PerModel[k] = v
+	}
+	if t.total > 0 {
+		s.DriftRate = float64(t.drifted) / float64(t.total)
+		s.MeanMSP = t.mspSum / float64(t.total)
+	}
+	if t.drifted > 0 {
+		s.MeanMSPOnDrft = t.mspSumLow / float64(t.drifted)
+	}
+	return s
+}

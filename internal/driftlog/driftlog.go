@@ -1,0 +1,465 @@
+// Package driftlog implements the cloud-side drift log: the append-only
+// table every device reports into and the query surface that root-cause
+// analysis mines.
+//
+// The paper runs this on Amazon Aurora and implements frequent-itemset
+// mining as SQL COUNT aggregations. This store provides the identical
+// surface — predicate counting over attribute columns within a time
+// window, plus a drift-flag overlay for counterfactual analysis — as an
+// embedded, dictionary-encoded columnar table with linear-time scans
+// (which is what makes Fig. 9d's runtime-vs-rows relationship linear).
+package driftlog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Entry is one drift-log row: the detection verdict plus device metadata.
+type Entry struct {
+	Time time.Time `json:"time"`
+	// Attrs carries all categorical metadata: device ID, location,
+	// weather, model version, and anything else the deployment
+	// records. Attribute names are free-form.
+	Attrs map[string]string `json:"attrs"`
+	// Drift is the on-device detector's verdict.
+	Drift bool `json:"drift"`
+	// SampleID links to an uploaded input sample (-1 when the device
+	// did not sample this inference).
+	SampleID int64 `json:"sample_id"`
+}
+
+// Standard attribute names used by the system components.
+const (
+	AttrDevice   = "device"
+	AttrLocation = "location"
+	AttrWeather  = "weather"
+	AttrModel    = "model"
+)
+
+// column is a dictionary-encoded attribute column. ID 0 is reserved for
+// "attribute missing on this row".
+type column struct {
+	ids   []uint32
+	dict  []string          // dict[0] == ""
+	index map[string]uint32 // value -> id
+}
+
+func newColumn(backfill int) *column {
+	c := &column{dict: []string{""}, index: map[string]uint32{}}
+	if backfill > 0 {
+		c.ids = make([]uint32, backfill)
+	}
+	return c
+}
+
+func (c *column) idOf(v string) (uint32, bool) {
+	id, ok := c.index[v]
+	return id, ok
+}
+
+func (c *column) intern(v string) uint32 {
+	if id, ok := c.index[v]; ok {
+		return id
+	}
+	id := uint32(len(c.dict))
+	c.dict = append(c.dict, v)
+	c.index[v] = id
+	return id
+}
+
+// Store is the drift log. It is safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	times   []int64 // unix nanos
+	drift   []bool
+	samples []int64
+	cols    map[string]*column
+	order   []string // column names in first-seen order
+}
+
+// NewStore returns an empty drift log.
+func NewStore() *Store {
+	return &Store{cols: map[string]*column{}}
+}
+
+// Append ingests one entry.
+func (s *Store) Append(e Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appendLocked(e)
+}
+
+// AppendBatch ingests entries under a single lock acquisition.
+func (s *Store) AppendBatch(entries []Entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		s.appendLocked(e)
+	}
+}
+
+func (s *Store) appendLocked(e Entry) {
+	row := len(s.times)
+	s.times = append(s.times, e.Time.UnixNano())
+	s.drift = append(s.drift, e.Drift)
+	s.samples = append(s.samples, e.SampleID)
+	for name, val := range e.Attrs {
+		col, ok := s.cols[name]
+		if !ok {
+			col = newColumn(row)
+			s.cols[name] = col
+			s.order = append(s.order, name)
+		}
+		col.ids = append(col.ids, col.intern(val))
+	}
+	// Backfill missing attributes for this row.
+	for _, name := range s.order {
+		col := s.cols[name]
+		if len(col.ids) == row {
+			col.ids = append(col.ids, 0)
+		}
+	}
+}
+
+// Len returns the number of rows.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.times)
+}
+
+// Attributes returns the attribute names in first-seen order.
+func (s *Store) Attributes() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...)
+}
+
+// Entry reconstructs row i (for display and debugging).
+func (s *Store) Entry(i int) Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e := Entry{
+		Time:     time.Unix(0, s.times[i]).UTC(),
+		Drift:    s.drift[i],
+		SampleID: s.samples[i],
+		Attrs:    map[string]string{},
+	}
+	for _, name := range s.order {
+		col := s.cols[name]
+		if id := col.ids[i]; id != 0 {
+			e.Attrs[name] = col.dict[id]
+		}
+	}
+	return e
+}
+
+// Cond is an equality predicate on one attribute.
+type Cond struct {
+	Attr  string
+	Value string
+}
+
+// View is a read-only window over the store: the rows whose timestamps
+// fall in [From, To). A zero From/To means unbounded on that side.
+//
+// A View pins the row count at creation time, so concurrent appends do
+// not shift results mid-analysis.
+type View struct {
+	s        *Store
+	from, to int64
+	rows     int
+}
+
+// Window returns a view over [from, to). Zero times are unbounded.
+func (s *Store) Window(from, to time.Time) *View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v := &View{s: s, rows: len(s.times)}
+	if !from.IsZero() {
+		v.from = from.UnixNano()
+	}
+	if to.IsZero() {
+		v.to = 1<<63 - 1
+	} else {
+		v.to = to.UnixNano()
+	}
+	return v
+}
+
+// All returns a view over every row currently in the store.
+func (s *Store) All() *View { return s.Window(time.Time{}, time.Time{}) }
+
+// inWindow reports whether row i falls inside the view.
+func (v *View) inWindow(i int) bool {
+	t := v.s.times[i]
+	return t >= v.from && t < v.to
+}
+
+// Len returns the number of rows inside the view.
+func (v *View) Len() int {
+	v.s.mu.RLock()
+	defer v.s.mu.RUnlock()
+	n := 0
+	for i := 0; i < v.rows; i++ {
+		if v.inWindow(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// CountResult is the aggregate FIM consumes.
+type CountResult struct {
+	Total int // rows matching the predicate
+	Drift int // of those, rows flagged as drift
+}
+
+// Count aggregates rows matching every condition. overlay, if non-nil,
+// replaces the stored drift flags (indexed by absolute row number) — the
+// hook counterfactual analysis uses to "mark" entries as non-drift
+// without mutating the log.
+func (v *View) Count(conds []Cond, overlay []bool) (CountResult, error) {
+	v.s.mu.RLock()
+	defer v.s.mu.RUnlock()
+
+	type colCond struct {
+		ids []uint32
+		id  uint32
+	}
+	ccs := make([]colCond, 0, len(conds))
+	for _, c := range conds {
+		col, ok := v.s.cols[c.Attr]
+		if !ok {
+			return CountResult{}, fmt.Errorf("driftlog: unknown attribute %q", c.Attr)
+		}
+		id, ok := col.idOf(c.Value)
+		if !ok {
+			// Value never seen: matches nothing.
+			return CountResult{}, nil
+		}
+		ccs = append(ccs, colCond{ids: col.ids, id: id})
+	}
+
+	var res CountResult
+rows:
+	for i := 0; i < v.rows; i++ {
+		if !v.inWindow(i) {
+			continue
+		}
+		for _, cc := range ccs {
+			if cc.ids[i] != cc.id {
+				continue rows
+			}
+		}
+		res.Total++
+		d := v.s.drift[i]
+		if overlay != nil {
+			d = overlay[i]
+		}
+		if d {
+			res.Drift++
+		}
+	}
+	return res, nil
+}
+
+// DriftOverlay copies the stored drift flags for all rows (absolute
+// indexing); counterfactual analysis mutates the copy.
+func (v *View) DriftOverlay() []bool {
+	v.s.mu.RLock()
+	defer v.s.mu.RUnlock()
+	return append([]bool(nil), v.s.drift[:v.rows]...)
+}
+
+// ClearDrift sets overlay[i] = false for every in-window row matching the
+// conditions, returning how many flags were cleared.
+func (v *View) ClearDrift(conds []Cond, overlay []bool) (int, error) {
+	v.s.mu.RLock()
+	defer v.s.mu.RUnlock()
+
+	type colCond struct {
+		ids []uint32
+		id  uint32
+	}
+	ccs := make([]colCond, 0, len(conds))
+	for _, c := range conds {
+		col, ok := v.s.cols[c.Attr]
+		if !ok {
+			return 0, fmt.Errorf("driftlog: unknown attribute %q", c.Attr)
+		}
+		id, ok := col.idOf(c.Value)
+		if !ok {
+			return 0, nil
+		}
+		ccs = append(ccs, colCond{ids: col.ids, id: id})
+	}
+	cleared := 0
+rows:
+	for i := 0; i < v.rows; i++ {
+		if !v.inWindow(i) {
+			continue
+		}
+		for _, cc := range ccs {
+			if cc.ids[i] != cc.id {
+				continue rows
+			}
+		}
+		if overlay[i] {
+			overlay[i] = false
+			cleared++
+		}
+	}
+	return cleared, nil
+}
+
+// AttrValueCounts returns, for each attribute, the per-value totals and
+// drift counts inside the view — the single-pass aggregation the first
+// apriori level needs (one "SQL GROUP BY" per attribute).
+func (v *View) AttrValueCounts(overlay []bool) map[string]map[string]CountResult {
+	v.s.mu.RLock()
+	defer v.s.mu.RUnlock()
+	out := make(map[string]map[string]CountResult, len(v.s.order))
+	for _, name := range v.s.order {
+		out[name] = map[string]CountResult{}
+	}
+	for i := 0; i < v.rows; i++ {
+		if !v.inWindow(i) {
+			continue
+		}
+		d := v.s.drift[i]
+		if overlay != nil {
+			d = overlay[i]
+		}
+		for _, name := range v.s.order {
+			col := v.s.cols[name]
+			id := col.ids[i]
+			if id == 0 {
+				continue
+			}
+			val := col.dict[id]
+			cr := out[name][val]
+			cr.Total++
+			if d {
+				cr.Drift++
+			}
+			out[name][val] = cr
+		}
+	}
+	return out
+}
+
+// PairKey identifies a two-attribute value combination (attributes in
+// lexicographic order).
+type PairKey struct {
+	AttrA, ValA string
+	AttrB, ValB string
+}
+
+// Conds returns the pair as query conditions.
+func (k PairKey) Conds() []Cond {
+	return []Cond{{Attr: k.AttrA, Value: k.ValA}, {Attr: k.AttrB, Value: k.ValB}}
+}
+
+// PairCounts aggregates, in a single scan, the totals and drift counts of
+// every two-attribute value combination present in the view (excluding
+// the listed attributes). This replaces the per-candidate scans of the
+// apriori level-2 join: with k attributes per row it costs O(rows·k²)
+// once instead of O(candidates·rows).
+func (v *View) PairCounts(overlay []bool, exclude map[string]bool) map[PairKey]CountResult {
+	v.s.mu.RLock()
+	defer v.s.mu.RUnlock()
+
+	// Collect the included columns once, in name order so pair keys are
+	// canonical.
+	type col struct {
+		name string
+		c    *column
+	}
+	var cols []col
+	for _, name := range v.s.order {
+		if exclude[name] {
+			continue
+		}
+		cols = append(cols, col{name, v.s.cols[name]})
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i].name < cols[j].name })
+
+	out := map[PairKey]CountResult{}
+	for i := 0; i < v.rows; i++ {
+		if !v.inWindow(i) {
+			continue
+		}
+		d := v.s.drift[i]
+		if overlay != nil {
+			d = overlay[i]
+		}
+		for a := 0; a < len(cols); a++ {
+			ida := cols[a].c.ids[i]
+			if ida == 0 {
+				continue
+			}
+			for b := a + 1; b < len(cols); b++ {
+				idb := cols[b].c.ids[i]
+				if idb == 0 {
+					continue
+				}
+				k := PairKey{
+					AttrA: cols[a].name, ValA: cols[a].c.dict[ida],
+					AttrB: cols[b].name, ValB: cols[b].c.dict[idb],
+				}
+				cr := out[k]
+				cr.Total++
+				if d {
+					cr.Drift++
+				}
+				out[k] = cr
+			}
+		}
+	}
+	return out
+}
+
+// SampleIDs returns the sample IDs (≥ 0 only) of in-window rows matching
+// the conditions — how adaptation gathers the uploaded images of a root
+// cause.
+func (v *View) SampleIDs(conds []Cond) ([]int64, error) {
+	v.s.mu.RLock()
+	defer v.s.mu.RUnlock()
+
+	type colCond struct {
+		ids []uint32
+		id  uint32
+	}
+	ccs := make([]colCond, 0, len(conds))
+	for _, c := range conds {
+		col, ok := v.s.cols[c.Attr]
+		if !ok {
+			return nil, fmt.Errorf("driftlog: unknown attribute %q", c.Attr)
+		}
+		id, ok := col.idOf(c.Value)
+		if !ok {
+			return nil, nil
+		}
+		ccs = append(ccs, colCond{ids: col.ids, id: id})
+	}
+	var out []int64
+rows:
+	for i := 0; i < v.rows; i++ {
+		if !v.inWindow(i) {
+			continue
+		}
+		for _, cc := range ccs {
+			if cc.ids[i] != cc.id {
+				continue rows
+			}
+		}
+		if v.s.samples[i] >= 0 {
+			out = append(out, v.s.samples[i])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package driftlog
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// persistHeader guards against loading foreign files.
+const persistHeader = "nazar-driftlog-v1"
+
+// wireEntry is the on-disk representation of one row.
+type wireEntry struct {
+	TimeNanos int64
+	Drift     bool
+	SampleID  int64
+	Attrs     map[string]string
+}
+
+// WriteTo streams the full log to w (header + gob-encoded rows). It holds
+// the read lock for the duration; concurrent appends block until done.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, persistHeader); err != nil {
+		return 0, err
+	}
+	enc := gob.NewEncoder(bw)
+	n := len(s.times)
+	if err := enc.Encode(n); err != nil {
+		return 0, fmt.Errorf("driftlog: encode count: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		we := wireEntry{
+			TimeNanos: s.times[i],
+			Drift:     s.drift[i],
+			SampleID:  s.samples[i],
+			Attrs:     map[string]string{},
+		}
+		for _, name := range s.order {
+			col := s.cols[name]
+			if id := col.ids[i]; id != 0 {
+				we.Attrs[name] = col.dict[id]
+			}
+		}
+		if err := enc.Encode(we); err != nil {
+			return 0, fmt.Errorf("driftlog: encode row %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	return int64(n), nil
+}
+
+// ReadFrom appends all rows from r (written by WriteTo) to the store.
+func (s *Store) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return 0, fmt.Errorf("driftlog: read header: %w", err)
+	}
+	if header != persistHeader+"\n" {
+		return 0, fmt.Errorf("driftlog: bad header %q", header)
+	}
+	dec := gob.NewDecoder(br)
+	var n int
+	if err := dec.Decode(&n); err != nil {
+		return 0, fmt.Errorf("driftlog: decode count: %w", err)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("driftlog: corrupt file: negative row count %d", n)
+	}
+	for i := 0; i < n; i++ {
+		var we wireEntry
+		if err := dec.Decode(&we); err != nil {
+			return int64(i), fmt.Errorf("driftlog: decode row %d: %w", i, err)
+		}
+		s.Append(Entry{
+			Time:     time.Unix(0, we.TimeNanos).UTC(),
+			Drift:    we.Drift,
+			SampleID: we.SampleID,
+			Attrs:    we.Attrs,
+		})
+	}
+	return int64(n), nil
+}
+
+// Compact drops every row with a timestamp before cutoff, returning how
+// many rows were removed. Dictionary encodings are rebuilt, so value IDs
+// for vanished attributes do not leak. Outstanding Views become invalid
+// (their pinned row counts no longer correspond); create views after
+// compaction.
+func (s *Store) Compact(cutoff time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	limit := cutoff.UnixNano()
+	keep := make([]int, 0, len(s.times))
+	for i, t := range s.times {
+		if t >= limit {
+			keep = append(keep, i)
+		}
+	}
+	removed := len(s.times) - len(keep)
+	if removed == 0 {
+		return 0
+	}
+	newTimes := make([]int64, len(keep))
+	newDrift := make([]bool, len(keep))
+	newSamples := make([]int64, len(keep))
+	newCols := make(map[string]*column, len(s.cols))
+	for _, name := range s.order {
+		newCols[name] = newColumn(0)
+	}
+	for ni, oi := range keep {
+		newTimes[ni] = s.times[oi]
+		newDrift[ni] = s.drift[oi]
+		newSamples[ni] = s.samples[oi]
+		for _, name := range s.order {
+			old := s.cols[name]
+			nc := newCols[name]
+			if id := old.ids[oi]; id != 0 {
+				nc.ids = append(nc.ids, nc.intern(old.dict[id]))
+			} else {
+				nc.ids = append(nc.ids, 0)
+			}
+		}
+	}
+	s.times, s.drift, s.samples = newTimes, newDrift, newSamples
+	s.cols = newCols
+	return removed
+}
+
+// SaveFile atomically writes the log to path (temp file + rename).
+func (s *Store) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("driftlog: save: %w", err)
+	}
+	if _, err := s.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("driftlog: save close: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile appends all rows stored at path.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("driftlog: load: %w", err)
+	}
+	defer f.Close()
+	_, err = s.ReadFrom(f)
+	return err
+}

@@ -1,0 +1,191 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the synthetic substrate: each experiment is a
+// function returning structured results plus a printable table, consumed
+// by cmd/nazar-exp and by the repository-root benchmarks.
+//
+// Expectations are shape-level (who wins, by roughly what factor, where
+// crossovers fall); EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"sync"
+
+	"nazar/internal/imagesim"
+	"nazar/internal/nn"
+	"nazar/internal/tensor"
+)
+
+// Options scales experiments. The zero value is upgraded to defaults.
+type Options struct {
+	// Quick shrinks workloads for benchmarks and CI (fewer classes,
+	// smaller streams, fewer epochs).
+	Quick bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// f3 formats a float with three decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// animalsRig is the trained setup most microbenchmarks share: an
+// animals-analogue world, a trained classifier per architecture, and
+// clean train/val splits.
+type animalsRig struct {
+	world  *imagesim.World
+	nets   map[nn.Arch]*nn.Network
+	trainX *tensor.Matrix
+	trainY []int
+	valX   *tensor.Matrix
+	valY   []int
+}
+
+var (
+	rigMu   sync.Mutex
+	rigMemo = map[string]*animalsRig{}
+)
+
+// rigParams derives sizes from options.
+func rigParams(o Options) (classes, trainPer, valPer, epochs int) {
+	if o.Quick {
+		return 12, 40, 12, 18
+	}
+	return 30, 60, 20, 30
+}
+
+// getAnimalsRig builds (or reuses) the shared rig. Only the
+// architectures in archs are guaranteed trained.
+func getAnimalsRig(o Options, archs ...nn.Arch) *animalsRig {
+	o = o.withDefaults()
+	if len(archs) == 0 {
+		archs = []nn.Arch{nn.ArchResNet50}
+	}
+	classes, trainPer, valPer, epochs := rigParams(o)
+	key := fmt.Sprintf("animals/%d/%v", o.Seed, o.Quick)
+
+	rigMu.Lock()
+	defer rigMu.Unlock()
+	r, ok := rigMemo[key]
+	if !ok {
+		world := imagesim.NewWorld(imagesim.DefaultConfig(classes, o.Seed))
+		rng := tensor.NewRand(o.Seed, 0x816)
+		r = &animalsRig{world: world, nets: map[nn.Arch]*nn.Network{}}
+		r.trainX, r.trainY = samplePerClass(world, trainPer, rng)
+		r.valX, r.valY = samplePerClass(world, valPer, rng)
+		rigMemo[key] = r
+	}
+	for _, arch := range archs {
+		if _, ok := r.nets[arch]; ok {
+			continue
+		}
+		rng := tensor.NewRand(o.Seed^uint64(len(arch)), 0x817)
+		net := nn.NewClassifier(arch, r.world.Dim(), r.world.Classes(), rng)
+		nn.Fit(net, r.trainX, r.trainY, nn.TrainConfig{Epochs: epochs, BatchSize: 32, Rng: rng})
+		r.nets[arch] = net
+	}
+	return r
+}
+
+func (r *animalsRig) net(arch nn.Arch) *nn.Network { return r.nets[arch] }
+
+// samplePerClass draws per examples of every class.
+func samplePerClass(world *imagesim.World, per int, rng *rand.Rand) (*tensor.Matrix, []int) {
+	n := per * world.Classes()
+	x := tensor.New(n, world.Dim())
+	labels := make([]int, n)
+	i := 0
+	for c := 0; c < world.Classes(); c++ {
+		for k := 0; k < per; k++ {
+			labels[i] = c
+			copy(x.Row(i), world.Sample(c, rng))
+			i++
+		}
+	}
+	return x, labels
+}

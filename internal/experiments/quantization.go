@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"nazar/internal/nn"
+)
+
+// QuantizationResult measures compression-induced per-class degradation
+// (the §2 motivation: quantization shrinks models but hurts specific
+// classes unpredictably — one of the drift sources Nazar is built to
+// catch post-deployment).
+type QuantizationResult struct {
+	// Acc[bits] is overall accuracy at that weight width (64 = float).
+	Acc map[int]float64
+	// WorstClassDrop[bits] is the largest per-class accuracy drop
+	// relative to the float model.
+	WorstClassDrop map[int]float64
+	// Size[bits] is the serialized model size.
+	Size  map[int]int
+	Table *Table
+}
+
+// Quantization sweeps weight bit widths and reports overall accuracy,
+// the worst per-class drop, and model size.
+func Quantization(o Options) (*QuantizationResult, error) {
+	o = o.withDefaults()
+	r := getAnimalsRig(o, nn.ArchResNet50)
+	base := r.net(nn.ArchResNet50)
+
+	res := &QuantizationResult{
+		Acc:            map[int]float64{},
+		WorstClassDrop: map[int]float64{},
+		Size:           map[int]int{},
+	}
+	table := &Table{
+		ID:     "quantization",
+		Title:  "Model compression: accuracy and per-class damage vs bit width",
+		Header: []string{"Bits", "Size (bytes)", "Accuracy", "Worst class drop"},
+	}
+
+	floatAcc, _ := nn.PerClassAccuracy(base, r.valX, r.valY, r.world.Classes())
+	res.Acc[64] = base.Accuracy(r.valX, r.valY)
+	res.Size[64] = base.SizeBytes()
+	table.AddRow("float64", fmt.Sprint(res.Size[64]), pct(res.Acc[64]), "-")
+
+	for _, bits := range []int{8, 6, 4, 3, 2} {
+		q, err := nn.Quantize(base, bits)
+		if err != nil {
+			return nil, err
+		}
+		res.Acc[bits] = q.Accuracy(r.valX, r.valY)
+		res.Size[bits] = nn.QuantizedSizeBytes(base, bits)
+		qAcc, present := nn.PerClassAccuracy(q, r.valX, r.valY, r.world.Classes())
+		worst := 0.0
+		for c := range present {
+			if !present[c] {
+				continue
+			}
+			worst = math.Max(worst, floatAcc[c]-qAcc[c])
+		}
+		res.WorstClassDrop[bits] = worst
+		table.AddRow(fmt.Sprint(bits), fmt.Sprint(res.Size[bits]), pct(res.Acc[bits]), pct(worst))
+	}
+	table.Notes = append(table.Notes,
+		"§2 motivation: compression damage concentrates on specific classes and is hard to anticipate")
+	res.Table = table
+	return res, nil
+}

@@ -1,0 +1,354 @@
+// Package fim implements the frequent-itemset-mining stage of Nazar's
+// root-cause analysis (§3.3): an apriori miner over the drift log that
+// scores candidate attribute sets with the four metrics of Table 3 —
+// occurrence, support, confidence and risk ratio — filters them against
+// the paper's thresholds, and ranks them by risk ratio.
+package fim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"nazar/internal/driftlog"
+)
+
+// Itemset is a set of attribute equality conditions, at most one per
+// attribute, kept sorted by attribute name (canonical form).
+type Itemset []driftlog.Cond
+
+// NewItemset returns the canonical (attr-sorted) form of the conditions.
+func NewItemset(conds ...driftlog.Cond) Itemset {
+	s := append(Itemset(nil), conds...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Attr < s[j].Attr })
+	return s
+}
+
+// Key returns a canonical string identity for the itemset.
+func (s Itemset) Key() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.Attr + "=" + c.Value
+	}
+	return strings.Join(parts, "|")
+}
+
+// String renders the itemset like the paper: {snow, New York}.
+func (s Itemset) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.Value
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// SubsetOf reports whether every condition of s appears in t. Note the
+// data-coverage direction is reversed: a *larger* itemset covers a
+// *subset* of the rows.
+func (s Itemset) SubsetOf(t Itemset) bool {
+	if len(s) > len(t) {
+		return false
+	}
+	i := 0
+	for _, c := range t {
+		if i < len(s) && s[i] == c {
+			i++
+		}
+	}
+	return i == len(s)
+}
+
+// Metrics are the four FIM statistics of Table 3.
+type Metrics struct {
+	// Occurrence = |rows matching set| / |rows|.
+	Occurrence float64
+	// Support = |drift rows matching set| / |drift rows|.
+	Support float64
+	// Confidence = |drift rows matching set| / |rows matching set|.
+	Confidence float64
+	// RiskRatio = P(drift | set) / P(drift | ¬set); +Inf when no
+	// drift occurs outside the set.
+	RiskRatio float64
+	// SmoothedRiskRatio is an m-estimate-shrunk risk ratio: both the
+	// inside and outside drift rates are shrunk toward the global
+	// drift rate with prior weight priorWeight before taking the
+	// ratio. It is always finite and discounts small itemsets, so a
+	// ten-row set that happens to be 100 % drift cannot outrank a
+	// large, statistically solid cause. Ranking uses it; the
+	// thresholds keep the paper's raw RiskRatio.
+	SmoothedRiskRatio float64
+}
+
+// priorWeight is the m-estimate prior strength for SmoothedRiskRatio:
+// each rate behaves as if priorWeight extra rows at the global drift rate
+// had been observed.
+const priorWeight = 10
+
+// Result is one scored itemset.
+type Result struct {
+	Items   Itemset
+	Counts  driftlog.CountResult
+	Metrics Metrics
+}
+
+// Thresholds are the FIM acceptance thresholds; the paper's defaults are
+// 0.01 / 0.01 / 0.51 / 1.1 with at most 3 attributes per cause.
+type Thresholds struct {
+	MinOccurrence float64
+	MinSupport    float64
+	MinConfidence float64
+	MinRiskRatio  float64
+	MaxItems      int
+	// ExcludeAttrs removes attributes (e.g. the model version) from
+	// mining.
+	ExcludeAttrs []string
+}
+
+// DefaultThresholds returns the paper's default configuration.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		MinOccurrence: 0.01,
+		MinSupport:    0.01,
+		MinConfidence: 0.51,
+		MinRiskRatio:  1.1,
+		MaxItems:      3,
+	}
+}
+
+// Passes reports whether the metrics clear every threshold.
+func (t Thresholds) Passes(m Metrics) bool {
+	return m.Occurrence >= t.MinOccurrence &&
+		m.Support >= t.MinSupport &&
+		m.Confidence >= t.MinConfidence &&
+		m.RiskRatio >= t.MinRiskRatio
+}
+
+// ComputeMetrics derives the four metrics from the itemset counts and the
+// window totals.
+func ComputeMetrics(c driftlog.CountResult, totalRows, totalDrift int) Metrics {
+	var m Metrics
+	if totalRows > 0 {
+		m.Occurrence = float64(c.Total) / float64(totalRows)
+	}
+	if totalDrift > 0 {
+		m.Support = float64(c.Drift) / float64(totalDrift)
+	}
+	if c.Total > 0 {
+		m.Confidence = float64(c.Drift) / float64(c.Total)
+	}
+	outsideRows := totalRows - c.Total
+	outsideDrift := totalDrift - c.Drift
+	switch {
+	case outsideRows <= 0:
+		// The set covers every row: there is no contrast group, so it
+		// cannot explain *which* rows drifted. Neutral risk.
+		m.RiskRatio = 1
+	case outsideDrift <= 0:
+		// All drift falls inside the set.
+		if m.Confidence > 0 {
+			m.RiskRatio = math.Inf(1)
+		}
+	default:
+		m.RiskRatio = m.Confidence / (float64(outsideDrift) / float64(outsideRows))
+	}
+	if outsideRows <= 0 || totalRows <= 0 {
+		m.SmoothedRiskRatio = 1
+	} else {
+		g := float64(totalDrift) / float64(totalRows)
+		pIn := (float64(c.Drift) + priorWeight*g) / (float64(c.Total) + priorWeight)
+		pOut := (float64(outsideDrift) + priorWeight*g) / (float64(outsideRows) + priorWeight)
+		m.SmoothedRiskRatio = pIn / pOut
+	}
+	return m
+}
+
+// Mine runs apriori over the view (with an optional drift overlay) and
+// returns every itemset of size ≤ MaxItems passing all thresholds,
+// ranked by risk ratio (descending), with occurrence, then smaller size,
+// then key as deterministic tie-breakers.
+func Mine(v *driftlog.View, overlay []bool, th Thresholds) ([]Result, error) {
+	if th.MaxItems <= 0 {
+		th.MaxItems = 3
+	}
+	totals, err := windowTotals(v, overlay)
+	if err != nil {
+		return nil, err
+	}
+	if totals.Drift == 0 {
+		return nil, nil // nothing drifted: no causes to mine
+	}
+	excluded := map[string]bool{}
+	for _, a := range th.ExcludeAttrs {
+		excluded[a] = true
+	}
+
+	// Level 1 via one grouped pass.
+	valueCounts := v.AttrValueCounts(overlay)
+	var level []counted
+	for attr, values := range valueCounts {
+		if excluded[attr] {
+			continue
+		}
+		for val, cr := range values {
+			m := ComputeMetrics(cr, totals.Total, totals.Drift)
+			if m.Occurrence >= th.MinOccurrence {
+				level = append(level, counted{NewItemset(driftlog.Cond{Attr: attr, Value: val}), cr})
+			}
+		}
+	}
+	sortCounted(level)
+
+	var all []counted
+	all = append(all, level...)
+
+	// Level 2 via one grouped pass: all co-occurring attribute-value
+	// pairs are counted in a single scan (O(rows·k²) for k attributes)
+	// instead of one scan per candidate pair.
+	if th.MaxItems >= 2 && len(level) > 1 {
+		frequent := map[string]bool{}
+		for _, c := range level {
+			frequent[c.set.Key()] = true
+		}
+		pairCounts := v.PairCounts(overlay, excluded)
+		var next []counted
+		for pk, cr := range pairCounts {
+			// Apriori pruning: both member singletons must be frequent.
+			a := NewItemset(driftlog.Cond{Attr: pk.AttrA, Value: pk.ValA})
+			b := NewItemset(driftlog.Cond{Attr: pk.AttrB, Value: pk.ValB})
+			if !frequent[a.Key()] || !frequent[b.Key()] {
+				continue
+			}
+			m := ComputeMetrics(cr, totals.Total, totals.Drift)
+			if m.Occurrence >= th.MinOccurrence {
+				next = append(next, counted{NewItemset(pk.Conds()...), cr})
+			}
+		}
+		sortCounted(next)
+		all = append(all, next...)
+		level = next
+	}
+
+	// Levels 3..MaxItems: apriori join of frequent (k-1)-sets with
+	// per-candidate counting (candidate counts are small by level 3).
+	for k := 3; k <= th.MaxItems && len(level) > 1; k++ {
+		seen := map[string]bool{}
+		var next []counted
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				cand, ok := join(level[i].set, level[j].set)
+				if !ok || len(cand) != k || seen[cand.Key()] {
+					continue
+				}
+				seen[cand.Key()] = true
+				cr, err := v.Count(cand, overlay)
+				if err != nil {
+					return nil, err
+				}
+				m := ComputeMetrics(cr, totals.Total, totals.Drift)
+				if m.Occurrence >= th.MinOccurrence {
+					next = append(next, counted{cand, cr})
+				}
+			}
+		}
+		sortCounted(next)
+		all = append(all, next...)
+		level = next
+	}
+
+	// Final filtering and ranking.
+	var results []Result
+	for _, c := range all {
+		m := ComputeMetrics(c.counts, totals.Total, totals.Drift)
+		if th.Passes(m) {
+			results = append(results, Result{Items: c.set, Counts: c.counts, Metrics: m})
+		}
+	}
+	Rank(results)
+	return results, nil
+}
+
+// Rank orders results by smoothed risk ratio, occurrence, smaller size,
+// key.
+func Rank(results []Result) {
+	sort.Slice(results, func(i, j int) bool {
+		a, b := results[i], results[j]
+		if a.Metrics.SmoothedRiskRatio != b.Metrics.SmoothedRiskRatio {
+			return a.Metrics.SmoothedRiskRatio > b.Metrics.SmoothedRiskRatio
+		}
+		if a.Metrics.Occurrence != b.Metrics.Occurrence {
+			return a.Metrics.Occurrence > b.Metrics.Occurrence
+		}
+		if len(a.Items) != len(b.Items) {
+			return len(a.Items) < len(b.Items)
+		}
+		return a.Items.Key() < b.Items.Key()
+	})
+}
+
+// Rescore recomputes an itemset's metrics against the view with the given
+// overlay — used by counterfactual analysis after clearing drift flags.
+func Rescore(v *driftlog.View, set Itemset, overlay []bool) (Result, error) {
+	totals, err := windowTotals(v, overlay)
+	if err != nil {
+		return Result{}, err
+	}
+	cr, err := v.Count(set, overlay)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Items: set, Counts: cr, Metrics: ComputeMetrics(cr, totals.Total, totals.Drift)}, nil
+}
+
+// windowTotals counts rows and drift rows inside the view.
+func windowTotals(v *driftlog.View, overlay []bool) (driftlog.CountResult, error) {
+	return v.Count(nil, overlay)
+}
+
+// join merges two same-size itemsets into a candidate one item larger,
+// requiring distinct attributes and agreement on shared attributes.
+func join(a, b Itemset) (Itemset, bool) {
+	merged := map[string]string{}
+	for _, c := range a {
+		merged[c.Attr] = c.Value
+	}
+	for _, c := range b {
+		if v, ok := merged[c.Attr]; ok && v != c.Value {
+			return nil, false // conflicting values for one attribute
+		}
+		merged[c.Attr] = c.Value
+	}
+	if len(merged) != len(a)+1 {
+		return nil, false
+	}
+	conds := make([]driftlog.Cond, 0, len(merged))
+	for attr, val := range merged {
+		conds = append(conds, driftlog.Cond{Attr: attr, Value: val})
+	}
+	return NewItemset(conds...), true
+}
+
+// counted pairs a candidate itemset with its window counts.
+type counted struct {
+	set    Itemset
+	counts driftlog.CountResult
+}
+
+// sortCounted orders candidates deterministically by key.
+func sortCounted(cs []counted) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].set.Key() < cs[j].set.Key() })
+}
+
+// FormatResult renders one row like Table 3.
+func FormatResult(r Result) string {
+	return fmt.Sprintf("%-32s occ=%.2f sup=%.2f rr=%s conf=%.2f",
+		r.Items.String(), r.Metrics.Occurrence, r.Metrics.Support,
+		formatRR(r.Metrics.RiskRatio), r.Metrics.Confidence)
+}
+
+func formatRR(rr float64) string {
+	if math.IsInf(rr, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", rr)
+}

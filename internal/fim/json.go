@@ -1,0 +1,73 @@
+package fim
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// jsonMetrics mirrors Metrics for wire encoding. Risk ratios can be +Inf
+// (all drift inside the set), which encoding/json rejects for float64, so
+// infinite values are carried as the string "inf".
+type jsonMetrics struct {
+	Occurrence        float64         `json:"occurrence"`
+	Support           float64         `json:"support"`
+	Confidence        float64         `json:"confidence"`
+	RiskRatio         json.RawMessage `json:"risk_ratio"`
+	SmoothedRiskRatio float64         `json:"smoothed_risk_ratio"`
+}
+
+func encodeRatio(v float64) json.RawMessage {
+	if math.IsInf(v, 1) {
+		return json.RawMessage(`"inf"`)
+	}
+	b, _ := json.Marshal(v)
+	return b
+}
+
+func decodeRatio(raw json.RawMessage) (float64, error) {
+	if len(raw) == 0 {
+		return 0, nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		if s == "inf" {
+			return math.Inf(1), nil
+		}
+		return 0, fmt.Errorf("fim: unknown ratio sentinel %q", s)
+	}
+	var f float64
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return 0, fmt.Errorf("fim: decode ratio: %w", err)
+	}
+	return f, nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonMetrics{
+		Occurrence:        m.Occurrence,
+		Support:           m.Support,
+		Confidence:        m.Confidence,
+		RiskRatio:         encodeRatio(m.RiskRatio),
+		SmoothedRiskRatio: m.SmoothedRiskRatio,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Metrics) UnmarshalJSON(data []byte) error {
+	var jm jsonMetrics
+	if err := json.Unmarshal(data, &jm); err != nil {
+		return err
+	}
+	rr, err := decodeRatio(jm.RiskRatio)
+	if err != nil {
+		return err
+	}
+	m.Occurrence = jm.Occurrence
+	m.Support = jm.Support
+	m.Confidence = jm.Confidence
+	m.RiskRatio = rr
+	m.SmoothedRiskRatio = jm.SmoothedRiskRatio
+	return nil
+}

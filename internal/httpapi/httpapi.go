@@ -1,0 +1,465 @@
+// Package httpapi exposes the cloud service over a JSON/HTTP wire
+// protocol, and provides the matching device-side client — the
+// distributed deployment mode of the system (the paper's devices report
+// to AWS over an API; here the "cloud" is a nazard process).
+//
+// Endpoints:
+//
+//	POST /v1/ingest    — report a drift-log entry (+ optional sample)
+//	POST /v1/analyze   — trigger one analysis/adaptation cycle
+//	GET  /v1/versions  — pull BN versions (?since=RFC3339)
+//	GET  /v1/base      — pull the full current base model snapshot
+//	GET  /v1/status    — service counters
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"nazar/internal/adapt"
+	"nazar/internal/cloud"
+	"nazar/internal/driftlog"
+	"nazar/internal/nn"
+	"nazar/internal/rca"
+)
+
+// IngestRequest is the body of POST /v1/ingest.
+type IngestRequest struct {
+	Entry driftlog.Entry `json:"entry"`
+	// Sample is the optional uploaded input.
+	Sample []float64 `json:"sample,omitempty"`
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze. Zero times mean an
+// unbounded window; Now defaults to the server clock.
+type AnalyzeRequest struct {
+	From time.Time `json:"from,omitempty"`
+	To   time.Time `json:"to,omitempty"`
+	Now  time.Time `json:"now,omitempty"`
+}
+
+// AnalyzeResponse summarizes one cycle.
+type AnalyzeResponse struct {
+	Causes     []string `json:"causes"`
+	VersionIDs []string `json:"version_ids"`
+	LogRows    int      `json:"log_rows"`
+	RCAMillis  int64    `json:"rca_ms"`
+	AdaptMs    int64    `json:"adapt_ms"`
+}
+
+// VersionsResponse is the body of GET /v1/versions.
+type VersionsResponse struct {
+	Versions []adapt.BNVersion `json:"versions"`
+}
+
+// DiagnoseResponse is the body of POST /v1/diagnose: the full causes, so
+// the operator can inspect them and submit a subset to /v1/adapt.
+type DiagnoseResponse struct {
+	Causes []rca.Cause `json:"causes"`
+}
+
+// AdaptRequest is the body of POST /v1/adapt (manual mode): adapt only
+// the given causes over the window.
+type AdaptRequest struct {
+	Causes []rca.Cause `json:"causes"`
+	From   time.Time   `json:"from,omitempty"`
+	To     time.Time   `json:"to,omitempty"`
+	Now    time.Time   `json:"now,omitempty"`
+}
+
+// DeltaVersion is one version in delta-compressed form: the quantized BN
+// diff against the pinned reference (GET /v1/refbn), gob-encoded and
+// base64-carried in JSON. It is ~4× smaller on the wire than the full
+// snapshot.
+type DeltaVersion struct {
+	ID        string    `json:"id"`
+	Cause     rca.Cause `json:"cause"`
+	CreatedAt time.Time `json:"created_at"`
+	Delta     []byte    `json:"delta"` // gob(adapt.BNDelta), base64 via JSON
+}
+
+// DeltasResponse is the body of GET /v1/deltas.
+type DeltasResponse struct {
+	Versions []DeltaVersion `json:"versions"`
+}
+
+// StatusResponse is the body of GET /v1/status.
+type StatusResponse struct {
+	LogRows  int `json:"log_rows"`
+	Samples  int `json:"samples"`
+	Versions int `json:"versions"`
+}
+
+// Server adapts a cloud.Service to HTTP.
+type Server struct {
+	svc *cloud.Service
+	mux *http.ServeMux
+}
+
+// NewServer wraps the service.
+func NewServer(svc *cloud.Service) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/diagnose", s.handleDiagnose)
+	s.mux.HandleFunc("POST /v1/adapt", s.handleAdapt)
+	s.mux.HandleFunc("GET /v1/versions", s.handleVersions)
+	s.mux.HandleFunc("GET /v1/deltas", s.handleDeltas)
+	s.mux.HandleFunc("GET /v1/refbn", s.handleRefBN)
+	s.mux.HandleFunc("GET /v1/base", s.handleBase)
+	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// maxBodyBytes bounds request bodies (an uploaded sample is a few KB; a
+// manual adapt request with many causes stays far below this).
+const maxBodyBytes = 4 << 20
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req IngestRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Entry.Attrs == nil {
+		http.Error(w, "httpapi: entry requires attrs", http.StatusBadRequest)
+		return
+	}
+	s.svc.Ingest(req.Entry, req.Sample)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req AnalyzeRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	now := req.Now
+	if now.IsZero() {
+		now = time.Now().UTC()
+	}
+	res, err := s.svc.RunWindow(req.From, req.To, now)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := AnalyzeResponse{
+		LogRows:   res.LogRows,
+		RCAMillis: res.RCADuration.Milliseconds(),
+		AdaptMs:   res.AdaptDuration.Milliseconds(),
+	}
+	for _, c := range res.Causes {
+		resp.Causes = append(resp.Causes, c.String())
+	}
+	for _, v := range res.Versions {
+		resp.VersionIDs = append(resp.VersionIDs, v.ID)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req AnalyzeRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	now := req.Now
+	if now.IsZero() {
+		now = time.Now().UTC()
+	}
+	causes, err := s.svc.Diagnose(req.From, req.To, now)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, DiagnoseResponse{Causes: causes})
+}
+
+func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req AdaptRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Causes) == 0 {
+		http.Error(w, "httpapi: adapt requires at least one cause", http.StatusBadRequest)
+		return
+	}
+	now := req.Now
+	if now.IsZero() {
+		now = time.Now().UTC()
+	}
+	versions, err := s.svc.AdaptCauses(req.Causes, req.From, req.To, now)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, VersionsResponse{Versions: versions})
+}
+
+func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
+	var since time.Time
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		t, err := time.Parse(time.RFC3339, raw)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("httpapi: bad since: %v", err), http.StatusBadRequest)
+			return
+		}
+		since = t
+	}
+	writeJSON(w, VersionsResponse{Versions: s.svc.VersionsSince(since)})
+}
+
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	var since time.Time
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		t, err := time.Parse(time.RFC3339, raw)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("httpapi: bad since: %v", err), http.StatusBadRequest)
+			return
+		}
+		since = t
+	}
+	ref := s.svc.ReferenceBN()
+	var resp DeltasResponse
+	for _, v := range s.svc.VersionsSince(since) {
+		delta, err := adapt.DiffBN(ref, v.Snapshot)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		data, err := delta.Encode()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp.Versions = append(resp.Versions, DeltaVersion{
+			ID: v.ID, Cause: v.Cause, CreatedAt: v.CreatedAt, Delta: data,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleRefBN(w http.ResponseWriter, r *http.Request) {
+	data, err := s.svc.ReferenceBN().Encode()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleBase(w http.ResponseWriter, r *http.Request) {
+	snap := nn.CaptureNet(s.svc.Base())
+	data, err := snap.Encode()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, StatusResponse{
+		LogRows:  s.svc.Log().Len(),
+		Samples:  s.svc.Samples().Len(),
+		Versions: len(s.svc.VersionsSince(time.Time{})),
+	})
+}
+
+func decodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("httpapi: decode: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Client is the device-side API client.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for the given server URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Ingest reports one entry (+ optional sample).
+func (c *Client) Ingest(entry driftlog.Entry, sample []float64) error {
+	return c.post("/v1/ingest", IngestRequest{Entry: entry, Sample: sample}, nil)
+}
+
+// Diagnose runs analysis only (manual mode) and returns the full causes.
+func (c *Client) Diagnose(req AnalyzeRequest) ([]rca.Cause, error) {
+	var resp DiagnoseResponse
+	err := c.post("/v1/diagnose", req, &resp)
+	return resp.Causes, err
+}
+
+// Adapt requests adaptation of the selected causes (manual mode).
+func (c *Client) Adapt(req AdaptRequest) ([]adapt.BNVersion, error) {
+	var resp VersionsResponse
+	err := c.post("/v1/adapt", req, &resp)
+	return resp.Versions, err
+}
+
+// Analyze triggers an analysis/adaptation cycle.
+func (c *Client) Analyze(req AnalyzeRequest) (AnalyzeResponse, error) {
+	var resp AnalyzeResponse
+	err := c.post("/v1/analyze", req, &resp)
+	return resp, err
+}
+
+// Versions pulls versions created at or after since.
+func (c *Client) Versions(since time.Time) ([]adapt.BNVersion, error) {
+	url := c.BaseURL + "/v1/versions"
+	if !since.IsZero() {
+		url += "?since=" + since.UTC().Format(time.RFC3339)
+	}
+	resp, err := c.HTTP.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: versions: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("versions", resp)
+	}
+	var vr VersionsResponse
+	if err := decodeJSON(resp.Body, &vr); err != nil {
+		return nil, err
+	}
+	return vr.Versions, nil
+}
+
+// RefBN downloads the pinned delta-reference BN snapshot.
+func (c *Client) RefBN() (*nn.BNSnapshot, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/v1/refbn")
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: refbn: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("refbn", resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: refbn body: %w", err)
+	}
+	return nn.DecodeBNSnapshot(data)
+}
+
+// Deltas pulls delta-compressed versions created at or after since and
+// reconstructs them against the reference snapshot (checksum-verified).
+func (c *Client) Deltas(since time.Time, ref *nn.BNSnapshot) ([]adapt.BNVersion, error) {
+	url := c.BaseURL + "/v1/deltas"
+	if !since.IsZero() {
+		url += "?since=" + since.UTC().Format(time.RFC3339)
+	}
+	resp, err := c.HTTP.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: deltas: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("deltas", resp)
+	}
+	var dr DeltasResponse
+	if err := decodeJSON(resp.Body, &dr); err != nil {
+		return nil, err
+	}
+	out := make([]adapt.BNVersion, 0, len(dr.Versions))
+	for _, dv := range dr.Versions {
+		delta, err := adapt.DecodeBNDelta(dv.Delta)
+		if err != nil {
+			return nil, fmt.Errorf("httpapi: version %s: %w", dv.ID, err)
+		}
+		snap, err := delta.Apply(ref)
+		if err != nil {
+			return nil, fmt.Errorf("httpapi: version %s: %w", dv.ID, err)
+		}
+		out = append(out, adapt.BNVersion{
+			ID: dv.ID, Cause: dv.Cause, Snapshot: snap, CreatedAt: dv.CreatedAt,
+		})
+	}
+	return out, nil
+}
+
+// Base downloads the current base model snapshot.
+func (c *Client) Base() (*nn.NetSnapshot, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/v1/base")
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: base: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("base", resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: base body: %w", err)
+	}
+	return nn.DecodeNetSnapshot(data)
+}
+
+// Status fetches service counters.
+func (c *Client) Status() (StatusResponse, error) {
+	var sr StatusResponse
+	resp, err := c.HTTP.Get(c.BaseURL + "/v1/status")
+	if err != nil {
+		return sr, fmt.Errorf("httpapi: status: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sr, httpError("status", resp)
+	}
+	err = decodeJSON(resp.Body, &sr)
+	return sr, err
+}
+
+func (c *Client) post(path string, body, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("httpapi: marshal: %w", err)
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("httpapi: post %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return httpError(path, resp)
+	}
+	if out != nil {
+		return decodeJSON(resp.Body, out)
+	}
+	return nil
+}
+
+func httpError(op string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("httpapi: %s: HTTP %d: %s", op, resp.StatusCode, bytes.TrimSpace(msg))
+}

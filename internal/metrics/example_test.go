@@ -1,0 +1,33 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"nazar/internal/metrics"
+)
+
+// ExampleFowlkesMallows scores how well a predicted cause assignment
+// matches the ground truth (Eq. 4 of the paper; 1 is a perfect match).
+func ExampleFowlkesMallows() {
+	truth := []string{"snow", "snow", "rain", "rain", "clean"}
+	perfect := []string{"a", "a", "b", "b", "c"} // same partition, renamed
+	merged := []string{"x", "x", "x", "x", "c"}  // snow and rain confused
+
+	fmt.Printf("perfect: %.3f\n", metrics.FowlkesMallows(truth, perfect))
+	fmt.Printf("merged:  %.3f\n", metrics.FowlkesMallows(truth, merged))
+	// Output:
+	// perfect: 1.000
+	// merged:  0.577
+}
+
+// ExampleConfusion computes the detection F1 of Eq. 1.
+func ExampleConfusion() {
+	var c metrics.Confusion
+	c.Observe(true, true)   // drifted, flagged
+	c.Observe(true, false)  // clean, flagged (false positive)
+	c.Observe(false, true)  // drifted, missed
+	c.Observe(false, false) // clean, passed
+	fmt.Printf("precision=%.2f recall=%.2f F1=%.2f\n", c.Precision(), c.Recall(), c.F1())
+	// Output:
+	// precision=0.50 recall=0.50 F1=0.50
+}

@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"nazar/internal/tensor"
+)
+
+// NLLAtTemperature computes the mean negative log-likelihood of labels
+// under softmax(logits/T).
+func NLLAtTemperature(logits *tensor.Matrix, labels []int, temp float64) float64 {
+	if temp <= 0 {
+		return math.Inf(1)
+	}
+	var total float64
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		scaled := make([]float64, len(row))
+		for j, v := range row {
+			scaled[j] = v / temp
+		}
+		lse := tensor.LogSumExp(scaled)
+		total += lse - scaled[labels[i]]
+	}
+	return total / float64(logits.Rows)
+}
+
+// CalibrateTemperature fits a softmax temperature on held-out labeled
+// data by minimizing NLL with golden-section search (standard temperature
+// scaling). The paper's §5.3 notes that detector quality under real drift
+// improves when the model is "calibrated to better handle non-drift
+// scenarios"; this is that calibration step.
+func CalibrateTemperature(net *Network, x *tensor.Matrix, labels []int) (float64, error) {
+	if x.Rows == 0 || x.Rows != len(labels) {
+		return 0, fmt.Errorf("nn: calibration needs matching non-empty data (%d rows, %d labels)", x.Rows, len(labels))
+	}
+	logits := net.Logits(x).Clone()
+
+	// Golden-section search for the NLL minimum over T ∈ [0.05, 20].
+	const phi = 1.6180339887498949
+	lo, hi := 0.05, 20.0
+	a := hi - (hi-lo)/phi
+	b := lo + (hi-lo)/phi
+	fa := NLLAtTemperature(logits, labels, a)
+	fb := NLLAtTemperature(logits, labels, b)
+	for i := 0; i < 60 && hi-lo > 1e-4; i++ {
+		if fa < fb {
+			hi, b, fb = b, a, fa
+			a = hi - (hi-lo)/phi
+			fa = NLLAtTemperature(logits, labels, a)
+		} else {
+			lo, a, fa = a, b, fb
+			b = lo + (hi-lo)/phi
+			fb = NLLAtTemperature(logits, labels, b)
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// TemperatureScaledMSP returns the maximum softmax probability of logits
+// at the given temperature — the calibrated confidence score.
+func TemperatureScaledMSP(logits []float64, temp float64) float64 {
+	scaled := make([]float64, len(logits))
+	for i, v := range logits {
+		scaled[i] = v / temp
+	}
+	return tensor.Max(tensor.Softmax(scaled))
+}

@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"math/rand/v2"
+
+	"nazar/internal/tensor"
+)
+
+// Dropout randomly zeroes activations during training (inverted dropout:
+// survivors are scaled by 1/(1-p) so Eval needs no rescaling). In Eval
+// and Adapt modes it is the identity — TENT adapts BN statistics, not
+// dropout masks.
+type Dropout struct {
+	// P is the drop probability in [0, 1).
+	P   float64
+	rng *rand.Rand
+
+	mask []float64
+}
+
+// NewDropout returns a dropout layer with the given drop probability.
+func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	if p < 0 {
+		p = 0
+	}
+	if p >= 1 {
+		p = 0.99
+	}
+	if rng == nil {
+		rng = tensor.NewRand(0xD20, 1)
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+func (d *Dropout) Forward(x *tensor.Matrix, mode Mode) *tensor.Matrix {
+	if mode != Train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	y := x.Clone()
+	if cap(d.mask) < len(y.Data) {
+		d.mask = make([]float64, len(y.Data))
+	}
+	d.mask = d.mask[:len(y.Data)]
+	keep := 1 - d.P
+	inv := 1 / keep
+	for i := range y.Data {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = 0
+			y.Data[i] = 0
+		} else {
+			d.mask[i] = inv
+			y.Data[i] *= inv
+		}
+	}
+	return y
+}
+
+func (d *Dropout) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	if d.mask == nil {
+		return dout
+	}
+	dx := dout.Clone()
+	for i := range dx.Data {
+		dx.Data[i] *= d.mask[i]
+	}
+	return dx
+}
+
+func (d *Dropout) Params() []*Param { return nil }
+
+func (d *Dropout) Clone() Layer { return NewDropout(d.P, tensor.NewRand(0xD21, 1)) }

@@ -1,0 +1,302 @@
+// Package nn is a from-scratch neural-network library: dense and
+// batch-normalization layers with full backpropagation (including input
+// gradients), cross-entropy and entropy losses, SGD/Adam optimizers and a
+// training loop.
+//
+// It exists because the paper's mechanisms — softmax-confidence drift
+// detection, TENT entropy minimization restricted to batch-norm
+// parameters, Odin-style input perturbation — all require a real,
+// differentiable model with batch-norm state. This package provides that
+// substrate in pure Go so the rest of the system exercises genuine
+// gradients and genuine BN statistics rather than mocked numbers.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"nazar/internal/tensor"
+)
+
+// Mode selects how stateful layers (batch norm) behave during a forward
+// pass.
+type Mode int
+
+const (
+	// Train uses batch statistics and updates running statistics; all
+	// parameters receive gradients.
+	Train Mode = iota
+	// Eval uses running statistics; the model is frozen.
+	Eval
+	// Adapt is the TENT mode: batch statistics are used for
+	// normalization and folded into the running statistics, and only
+	// unfrozen parameters (typically the BN affine pair) receive
+	// gradients.
+	Adapt
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Train:
+		return "train"
+	case Eval:
+		return "eval"
+	case Adapt:
+		return "adapt"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Param is a single learnable tensor with its gradient accumulator.
+type Param struct {
+	Name   string
+	W      *tensor.Matrix
+	Grad   *tensor.Matrix
+	Frozen bool // frozen params are skipped by optimizers
+}
+
+func newParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, W: tensor.New(rows, cols), Grad: tensor.New(rows, cols)}
+}
+
+func (p *Param) clone() *Param {
+	return &Param{Name: p.Name, W: p.W.Clone(), Grad: tensor.New(p.W.Rows, p.W.Cols), Frozen: p.Frozen}
+}
+
+// Layer is one stage of a sequential network.
+type Layer interface {
+	// Forward consumes a batch (rows = examples) and returns the layer
+	// output, caching whatever Backward needs.
+	Forward(x *tensor.Matrix, mode Mode) *tensor.Matrix
+	// Backward consumes dL/d(output) and returns dL/d(input),
+	// accumulating parameter gradients along the way.
+	Backward(dout *tensor.Matrix) *tensor.Matrix
+	// Params returns the layer's learnable parameters (may be empty).
+	Params() []*Param
+	// Clone returns a deep copy sharing no state with the receiver.
+	Clone() Layer
+}
+
+// Dense is a fully connected layer: y = x·W + b.
+type Dense struct {
+	In, Out int
+	w, b    *Param
+	x       *tensor.Matrix // cached input
+}
+
+// NewDense returns a Dense layer with He-initialized weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, w: newParam("W", in, out), b: newParam("b", 1, out)}
+	d.w.W.HeInit(rng, in)
+	return d
+}
+
+func (d *Dense) Forward(x *tensor.Matrix, _ Mode) *tensor.Matrix {
+	d.x = x
+	y := tensor.New(x.Rows, d.Out)
+	tensor.MatMul(y, x, d.w.W)
+	y.AddRowVector(d.b.W.Data)
+	return y
+}
+
+func (d *Dense) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	dW := tensor.New(d.In, d.Out)
+	tensor.MatMulATB(dW, d.x, dout)
+	d.w.Grad.Add(dW)
+	db := dout.ColSums()
+	for j, v := range db {
+		d.b.Grad.Data[j] += v
+	}
+	dx := tensor.New(dout.Rows, d.In)
+	tensor.MatMulABT(dx, dout, d.w.W)
+	return dx
+}
+
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+func (d *Dense) Clone() Layer {
+	return &Dense{In: d.In, Out: d.Out, w: d.w.clone(), b: d.b.clone()}
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+func (r *ReLU) Forward(x *tensor.Matrix, _ Mode) *tensor.Matrix {
+	y := x.Clone()
+	if cap(r.mask) < len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	r.mask = r.mask[:len(y.Data)]
+	for i, v := range y.Data {
+		if v <= 0 {
+			y.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+func (r *ReLU) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	dx := dout.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+func (r *ReLU) Params() []*Param { return nil }
+func (r *ReLU) Clone() Layer     { return &ReLU{} }
+
+// BatchNorm normalizes each feature over the batch and applies a learned
+// affine transform. It is the layer Nazar adapts: TENT freezes everything
+// else and optimizes only Gamma/Beta while normalizing with batch
+// statistics.
+type BatchNorm struct {
+	Dim      int
+	Momentum float64 // running-stat update rate (paper-typical 0.1)
+	Eps      float64
+
+	gamma, beta *Param
+	// Running statistics (the non-learned half of a "BN version").
+	RunMean, RunVar []float64
+
+	// Backward caches.
+	mode    Mode
+	xhat    *tensor.Matrix
+	invStd  []float64
+	batched bool
+}
+
+// NewBatchNorm returns a BatchNorm over dim features with γ=1, β=0.
+func NewBatchNorm(dim int) *BatchNorm {
+	bn := &BatchNorm{
+		Dim:      dim,
+		Momentum: 0.1,
+		Eps:      1e-5,
+		gamma:    newParam("gamma", 1, dim),
+		beta:     newParam("beta", 1, dim),
+		RunMean:  make([]float64, dim),
+		RunVar:   make([]float64, dim),
+	}
+	bn.gamma.W.Fill(1)
+	for i := range bn.RunVar {
+		bn.RunVar[i] = 1
+	}
+	return bn
+}
+
+// Gamma returns the scale parameter (length Dim).
+func (bn *BatchNorm) Gamma() []float64 { return bn.gamma.W.Data }
+
+// Beta returns the shift parameter (length Dim).
+func (bn *BatchNorm) Beta() []float64 { return bn.beta.W.Data }
+
+func (bn *BatchNorm) Forward(x *tensor.Matrix, mode Mode) *tensor.Matrix {
+	if x.Cols != bn.Dim {
+		panic(fmt.Sprintf("nn: BatchNorm dim %d got %d", bn.Dim, x.Cols))
+	}
+	bn.mode = mode
+	// A single example carries no batch statistics; fall back to the
+	// running ones even in Train/Adapt mode (mirrors framework behavior
+	// for inference-sized batches).
+	bn.batched = mode != Eval && x.Rows > 1
+
+	var mean, variance []float64
+	if bn.batched {
+		mean = x.ColMeans()
+		variance = x.ColVariances(mean)
+		m := bn.Momentum
+		for j := range bn.RunMean {
+			bn.RunMean[j] = (1-m)*bn.RunMean[j] + m*mean[j]
+			bn.RunVar[j] = (1-m)*bn.RunVar[j] + m*variance[j]
+		}
+	} else {
+		mean, variance = bn.RunMean, bn.RunVar
+	}
+
+	bn.invStd = make([]float64, bn.Dim)
+	for j := range bn.invStd {
+		bn.invStd[j] = 1 / math.Sqrt(variance[j]+bn.Eps)
+	}
+
+	xhat := tensor.New(x.Rows, x.Cols)
+	y := tensor.New(x.Rows, x.Cols)
+	g, b := bn.gamma.W.Data, bn.beta.W.Data
+	for i := 0; i < x.Rows; i++ {
+		xr, hr, yr := x.Row(i), xhat.Row(i), y.Row(i)
+		for j, v := range xr {
+			h := (v - mean[j]) * bn.invStd[j]
+			hr[j] = h
+			yr[j] = g[j]*h + b[j]
+		}
+	}
+	bn.xhat = xhat
+	return y
+}
+
+func (bn *BatchNorm) Backward(dout *tensor.Matrix) *tensor.Matrix {
+	n := float64(dout.Rows)
+	g := bn.gamma.W.Data
+
+	// Parameter gradients are identical in both normalization modes.
+	dgamma := make([]float64, bn.Dim)
+	dbeta := make([]float64, bn.Dim)
+	for i := 0; i < dout.Rows; i++ {
+		dr, hr := dout.Row(i), bn.xhat.Row(i)
+		for j, dv := range dr {
+			dgamma[j] += dv * hr[j]
+			dbeta[j] += dv
+		}
+	}
+	for j := range dgamma {
+		bn.gamma.Grad.Data[j] += dgamma[j]
+		bn.beta.Grad.Data[j] += dbeta[j]
+	}
+
+	dx := tensor.New(dout.Rows, dout.Cols)
+	if !bn.batched {
+		// Running-stat normalization is a fixed affine map.
+		for i := 0; i < dout.Rows; i++ {
+			dr, xr := dout.Row(i), dx.Row(i)
+			for j, dv := range dr {
+				xr[j] = dv * g[j] * bn.invStd[j]
+			}
+		}
+		return dx
+	}
+	// Full batch-statistics backward:
+	// dx = γ·invStd/n · (n·dout − Σdout − x̂·Σ(dout·x̂))
+	for i := 0; i < dout.Rows; i++ {
+		dr, hr, xr := dout.Row(i), bn.xhat.Row(i), dx.Row(i)
+		for j, dv := range dr {
+			xr[j] = g[j] * bn.invStd[j] / n * (n*dv - dbeta[j] - hr[j]*dgamma[j])
+		}
+	}
+	return dx
+}
+
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.gamma, bn.beta} }
+
+func (bn *BatchNorm) Clone() Layer {
+	c := &BatchNorm{
+		Dim:      bn.Dim,
+		Momentum: bn.Momentum,
+		Eps:      bn.Eps,
+		gamma:    bn.gamma.clone(),
+		beta:     bn.beta.clone(),
+		RunMean:  append([]float64(nil), bn.RunMean...),
+		RunVar:   append([]float64(nil), bn.RunVar...),
+	}
+	return c
+}

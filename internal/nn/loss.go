@@ -1,0 +1,137 @@
+package nn
+
+import (
+	"math"
+
+	"nazar/internal/tensor"
+)
+
+// CrossEntropy computes the mean cross-entropy loss of logits against
+// integer labels and the gradient dL/dlogits.
+func CrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	n := logits.Rows
+	grad := tensor.New(n, logits.Cols)
+	var loss float64
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		lse := tensor.LogSumExp(row)
+		y := labels[i]
+		loss += lse - row[y]
+		g := grad.Row(i)
+		for j, v := range row {
+			g[j] = math.Exp(v-lse) / float64(n)
+		}
+		g[y] -= 1 / float64(n)
+	}
+	return loss / float64(n), grad
+}
+
+// Entropy computes the mean Shannon entropy of the softmax of each logit
+// row (the TENT objective, Eq. 2 of the paper) and dL/dlogits.
+//
+// For a single row with probabilities p and entropy H = −Σ p log p, the
+// gradient is dH/dz_k = −p_k (log p_k + H).
+func Entropy(logits *tensor.Matrix) (float64, *tensor.Matrix) {
+	n := logits.Rows
+	grad := tensor.New(n, logits.Cols)
+	var total float64
+	for i := 0; i < n; i++ {
+		p := tensor.Softmax(logits.Row(i))
+		var h float64
+		for _, pc := range p {
+			if pc > 0 {
+				h -= pc * math.Log(pc)
+			}
+		}
+		total += h
+		g := grad.Row(i)
+		for k, pk := range p {
+			if pk > 0 {
+				g[k] = -pk * (math.Log(pk) + h) / float64(n)
+			}
+		}
+	}
+	return total / float64(n), grad
+}
+
+// MarginalEntropy computes the MEMO objective (Eq. 3 of the paper): the
+// entropy of the probability vector averaged over B augmented copies of
+// one input, plus dL/dlogits for all copies.
+//
+// With p̄ = (1/B)Σ p_i and L = H(p̄), the gradient is
+// dL/dz_{i,k} = (p_{i,k}/B)(Σ_c p_{i,c} log p̄_c − log p̄_k).
+func MarginalEntropy(logits *tensor.Matrix) (float64, *tensor.Matrix) {
+	b := logits.Rows
+	c := logits.Cols
+	probs := make([][]float64, b)
+	avg := make([]float64, c)
+	for i := 0; i < b; i++ {
+		probs[i] = tensor.Softmax(logits.Row(i))
+		for j, p := range probs[i] {
+			avg[j] += p / float64(b)
+		}
+	}
+	logAvg := make([]float64, c)
+	var loss float64
+	for j, p := range avg {
+		if p > 0 {
+			logAvg[j] = math.Log(p)
+			loss -= p * logAvg[j]
+		} else {
+			logAvg[j] = math.Inf(-1)
+		}
+	}
+	grad := tensor.New(b, c)
+	for i := 0; i < b; i++ {
+		var inner float64
+		for j, p := range probs[i] {
+			if p > 0 {
+				inner += p * logAvg[j]
+			}
+		}
+		g := grad.Row(i)
+		for k, pk := range probs[i] {
+			if pk > 0 {
+				g[k] = pk / float64(b) * (inner - logAvg[k])
+			}
+		}
+	}
+	return loss, grad
+}
+
+// GroupedMarginalEntropy applies MarginalEntropy to consecutive groups of
+// groupSize rows (the augmented copies of one input each) and returns the
+// mean loss over groups with the matching full-batch gradient. This is
+// the "MEMO with TENT-style batching" setup of §3.4: normalization
+// statistics come from the whole augmented batch while the objective
+// stays per-input marginal entropy.
+func GroupedMarginalEntropy(logits *tensor.Matrix, groupSize int) (float64, *tensor.Matrix) {
+	if groupSize <= 0 || logits.Rows%groupSize != 0 {
+		panic("nn: GroupedMarginalEntropy rows must be a multiple of groupSize")
+	}
+	groups := logits.Rows / groupSize
+	grad := tensor.New(logits.Rows, logits.Cols)
+	var total float64
+	for g := 0; g < groups; g++ {
+		sub := tensor.FromSlice(groupSize, logits.Cols,
+			logits.Data[g*groupSize*logits.Cols:(g+1)*groupSize*logits.Cols])
+		loss, gGrad := MarginalEntropy(sub)
+		total += loss
+		dst := grad.Data[g*groupSize*logits.Cols : (g+1)*groupSize*logits.Cols]
+		for i, v := range gGrad.Data {
+			dst[i] = v / float64(groups)
+		}
+	}
+	return total / float64(groups), grad
+}
+
+// EntropyOf returns the Shannon entropy of a probability vector.
+func EntropyOf(p []float64) float64 {
+	var h float64
+	for _, pc := range p {
+		if pc > 0 {
+			h -= pc * math.Log(pc)
+		}
+	}
+	return h
+}

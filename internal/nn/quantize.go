@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantize returns a copy of the network whose weights have been
+// quantized to the given bit width (symmetric per-tensor linear
+// quantization, the scheme mobile deployment pipelines use to shrink
+// models). Batch-norm running statistics are kept at full precision, as
+// deployment toolchains do.
+//
+// The paper's §2 motivates Nazar partly with compression-induced
+// degradation: quantization shrinks models dramatically but "can lead to
+// worse accuracy for specific classes", unpredictably. This function
+// provides that substrate so the effect can be measured (see the
+// quantization experiment).
+func Quantize(net *Network, bits int) (*Network, error) {
+	if bits < 2 || bits > 16 {
+		return nil, fmt.Errorf("nn: quantization bits %d outside [2, 16]", bits)
+	}
+	q := net.Clone()
+	levels := float64(int(1) << (bits - 1)) // symmetric: ±(levels-1)
+	for _, p := range q.Params() {
+		var maxAbs float64
+		for _, v := range p.W.Data {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			continue
+		}
+		scale := maxAbs / (levels - 1)
+		for i, v := range p.W.Data {
+			qv := math.Round(v / scale)
+			if qv > levels-1 {
+				qv = levels - 1
+			}
+			if qv < -(levels - 1) {
+				qv = -(levels - 1)
+			}
+			p.W.Data[i] = qv * scale
+		}
+	}
+	return q, nil
+}
+
+// QuantizedSizeBytes estimates the serialized size of the network at the
+// given weight bit width (BN statistics stay at 8 bytes).
+func QuantizedSizeBytes(net *Network, bits int) int {
+	weightBits := net.NumParams() * bits
+	statBytes := 0
+	for _, bn := range net.BatchNorms() {
+		statBytes += (len(bn.RunMean) + len(bn.RunVar)) * 8
+	}
+	return (weightBits+7)/8 + statBytes
+}

@@ -1,0 +1,100 @@
+// Package privacy implements the paper's second future-work direction
+// (§6, "developing techniques for improved user privacy"): differential
+// privacy for the sampled inputs devices upload for adaptation.
+//
+// Each uploaded sample is L2-clipped and perturbed with Gaussian noise
+// calibrated to an (ε, δ) budget, so the cloud's by-cause adaptation
+// never sees a raw input. A simple accountant tracks the budget spent by
+// sequential composition across uploads.
+package privacy
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+)
+
+// SigmaFor returns the Gaussian-mechanism noise multiplier for one
+// release with L2 sensitivity 1 at budget (ε, δ):
+// σ = sqrt(2 ln(1.25/δ)) / ε (Dwork & Roth, Thm 3.22; valid for ε ≤ 1,
+// conservative above).
+func SigmaFor(epsilon, delta float64) (float64, error) {
+	if epsilon <= 0 || delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("privacy: invalid budget epsilon=%v delta=%v", epsilon, delta)
+	}
+	return math.Sqrt(2*math.Log(1.25/delta)) / epsilon, nil
+}
+
+// Clip returns x scaled (if necessary) to L2 norm at most clip.
+func Clip(x []float64, clip float64) []float64 {
+	out := append([]float64(nil), x...)
+	if clip <= 0 {
+		return out
+	}
+	var norm float64
+	for _, v := range x {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	if norm > clip {
+		scale := clip / norm
+		for i := range out {
+			out[i] *= scale
+		}
+	}
+	return out
+}
+
+// Sanitizer perturbs uploads under a fixed per-sample (ε, δ) budget.
+type Sanitizer struct {
+	// ClipNorm bounds each sample's L2 norm (the mechanism's
+	// sensitivity).
+	ClipNorm float64
+	// Sigma is the noise multiplier (per unit of sensitivity).
+	Sigma float64
+
+	mu       sync.Mutex
+	releases int
+}
+
+// NewSanitizer builds a sanitizer for a per-sample (ε, δ) budget.
+func NewSanitizer(epsilon, delta, clipNorm float64) (*Sanitizer, error) {
+	if clipNorm <= 0 {
+		return nil, fmt.Errorf("privacy: clip norm must be positive")
+	}
+	sigma, err := SigmaFor(epsilon, delta)
+	if err != nil {
+		return nil, err
+	}
+	return &Sanitizer{ClipNorm: clipNorm, Sigma: sigma}, nil
+}
+
+// Sanitize clips x and adds calibrated Gaussian noise, returning the
+// release and counting it toward the accountant.
+func (s *Sanitizer) Sanitize(x []float64, rng *rand.Rand) []float64 {
+	out := Clip(x, s.ClipNorm)
+	noise := s.Sigma * s.ClipNorm
+	for i := range out {
+		out[i] += noise * rng.NormFloat64()
+	}
+	s.mu.Lock()
+	s.releases++
+	s.mu.Unlock()
+	return out
+}
+
+// Releases returns how many samples have been sanitized.
+func (s *Sanitizer) Releases() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.releases
+}
+
+// SpentEpsilon returns the total ε consumed so far under basic sequential
+// composition, given the per-release ε. (Each user's budget depends on
+// how many of the releases were theirs; this is the worst case of one
+// user contributing all of them.)
+func (s *Sanitizer) SpentEpsilon(perRelease float64) float64 {
+	return perRelease * float64(s.Releases())
+}

@@ -1,0 +1,115 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nazar/internal/tensor"
+)
+
+func TestSigmaFor(t *testing.T) {
+	s1, err := SigmaFor(1, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(2 * math.Log(1.25e5))
+	if math.Abs(s1-want) > 1e-12 {
+		t.Fatalf("sigma %v want %v", s1, want)
+	}
+	// Tighter budget -> more noise.
+	s05, _ := SigmaFor(0.5, 1e-5)
+	if s05 <= s1 {
+		t.Fatal("smaller epsilon must mean more noise")
+	}
+	for _, bad := range [][2]float64{{0, 1e-5}, {-1, 1e-5}, {1, 0}, {1, 1}} {
+		if _, err := SigmaFor(bad[0], bad[1]); err == nil {
+			t.Fatalf("budget %v should be rejected", bad)
+		}
+	}
+}
+
+func TestClip(t *testing.T) {
+	x := []float64{3, 4} // norm 5
+	c := Clip(x, 2.5)
+	if math.Abs(tensor.Norm2(c)-2.5) > 1e-12 {
+		t.Fatalf("clipped norm %v", tensor.Norm2(c))
+	}
+	// Direction preserved.
+	if math.Abs(c[0]/c[1]-0.75) > 1e-12 {
+		t.Fatal("clip changed direction")
+	}
+	// Under the bound: unchanged (but copied).
+	y := Clip(x, 100)
+	if y[0] != 3 || y[1] != 4 {
+		t.Fatal("under-norm input should be unchanged")
+	}
+	y[0] = -1
+	if x[0] != 3 {
+		t.Fatal("Clip must copy")
+	}
+}
+
+func TestSanitizerNoiseScale(t *testing.T) {
+	s, err := NewSanitizer(1, 1e-5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRand(1, 1)
+	// Sanitizing the zero vector isolates the noise; its std must match
+	// sigma*clip.
+	const n, dim = 400, 16
+	var sq float64
+	for i := 0; i < n; i++ {
+		out := s.Sanitize(make([]float64, dim), rng)
+		for _, v := range out {
+			sq += v * v
+		}
+	}
+	std := math.Sqrt(sq / float64(n*dim))
+	if math.Abs(std-s.Sigma)/s.Sigma > 0.1 {
+		t.Fatalf("noise std %v, want ~%v", std, s.Sigma)
+	}
+	if s.Releases() != n {
+		t.Fatalf("releases %d", s.Releases())
+	}
+	if got := s.SpentEpsilon(1); got != float64(n) {
+		t.Fatalf("spent epsilon %v", got)
+	}
+}
+
+func TestSanitizerValidation(t *testing.T) {
+	if _, err := NewSanitizer(1, 1e-5, 0); err == nil {
+		t.Fatal("zero clip must be rejected")
+	}
+	if _, err := NewSanitizer(0, 1e-5, 1); err == nil {
+		t.Fatal("zero epsilon must be rejected")
+	}
+}
+
+// Property: sanitized output norm is bounded in expectation and the
+// original is never mutated.
+func TestQuickSanitizePure(t *testing.T) {
+	s, err := NewSanitizer(2, 1e-5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		rng := tensor.NewRand(seed, 2)
+		x := make([]float64, 8)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 5
+		}
+		orig := append([]float64(nil), x...)
+		out := s.Sanitize(x, rng)
+		for i := range x {
+			if x[i] != orig[i] {
+				return false
+			}
+		}
+		return len(out) == len(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package rca implements Nazar's root-cause analysis (§3.3, Algorithm 1):
+// frequent-itemset mining followed by the paper's two novel pruning
+// passes — *set reduction*, which merges fine-grained causes into their
+// highest-ranked coarser cover, and *counterfactual analysis*, which
+// re-tests lower-ranked causes after the drift explained by higher-ranked
+// causes has been counterfactually marked as non-drift.
+package rca
+
+import (
+	"fmt"
+
+	"nazar/internal/driftlog"
+	"nazar/internal/fim"
+)
+
+// Cause is one final root cause selected for adaptation.
+type Cause struct {
+	Items fim.Itemset
+	// Metrics are the cause's original FIM metrics (risk ratio is used
+	// downstream to break version-selection ties).
+	Metrics fim.Metrics
+}
+
+// Key returns the canonical identity of the cause.
+func (c Cause) Key() string { return c.Items.Key() }
+
+// String renders the cause like the paper: {snow, New York}.
+func (c Cause) String() string { return c.Items.String() }
+
+// Matches reports whether an entry's attributes satisfy every condition
+// of the cause.
+func (c Cause) Matches(attrs map[string]string) bool {
+	for _, cond := range c.Items {
+		if attrs[cond.Attr] != cond.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchCount returns how many of the cause's conditions appear in attrs
+// with equal values (len(Items) when Matches).
+func (c Cause) MatchCount(attrs map[string]string) int {
+	n := 0
+	for _, cond := range c.Items {
+		if attrs[cond.Attr] == cond.Value {
+			n++
+		}
+	}
+	return n
+}
+
+// Association maps one coarse-grained cause to the finer-grained causes
+// set reduction merged into it, in rank order.
+type Association struct {
+	Coarse  fim.Result
+	Subsets []fim.Result
+}
+
+// SetReduction groups the ranked FIM results (Figure 3b): each result is
+// merged into the highest-ranked earlier cause whose attribute set it
+// refines (attribute-superset = data-subset); results with no coarser
+// cover become coarse keys themselves. The returned associations preserve
+// rank order of their coarse keys.
+func SetReduction(results []fim.Result) []Association {
+	var assocs []Association
+next:
+	for _, r := range results {
+		for i := range assocs {
+			if assocs[i].Coarse.Items.SubsetOf(r.Items) {
+				assocs[i].Subsets = append(assocs[i].Subsets, r)
+				continue next
+			}
+		}
+		assocs = append(assocs, Association{Coarse: r})
+	}
+	return assocs
+}
+
+// Config parameterizes the analysis.
+type Config struct {
+	Thresholds fim.Thresholds
+}
+
+// DefaultConfig returns the paper's defaults.
+func DefaultConfig() Config { return Config{Thresholds: fim.DefaultThresholds()} }
+
+// Mode selects which stages of the analysis run (the Table 5 ablation).
+type Mode int
+
+const (
+	// FIMOnly keeps every itemset passing the FIM thresholds.
+	FIMOnly Mode = iota
+	// FIMSetReduction keeps the coarse keys after set reduction.
+	FIMSetReduction
+	// Full runs Algorithm 1: set reduction plus counterfactual
+	// analysis. This is Nazar's default.
+	Full
+)
+
+func (m Mode) String() string {
+	switch m {
+	case FIMOnly:
+		return "fim"
+	case FIMSetReduction:
+		return "fim+set-reduction"
+	case Full:
+		return "fim+set-reduction+cf"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Analyze runs root-cause analysis over the drift-log view in the given
+// mode and returns the final causes in rank order.
+func Analyze(v *driftlog.View, cfg Config, mode Mode) ([]Cause, error) {
+	results, err := fim.Mine(v, nil, cfg.Thresholds)
+	if err != nil {
+		return nil, fmt.Errorf("rca: mining: %w", err)
+	}
+	switch mode {
+	case FIMOnly:
+		return toCauses(results), nil
+	case FIMSetReduction:
+		assocs := SetReduction(results)
+		coarse := make([]fim.Result, len(assocs))
+		for i, a := range assocs {
+			coarse[i] = a.Coarse
+		}
+		return toCauses(coarse), nil
+	case Full:
+		assocs := SetReduction(results)
+		return Counterfactual(v, assocs, cfg.Thresholds)
+	default:
+		return nil, fmt.Errorf("rca: unknown mode %v", mode)
+	}
+}
+
+// Counterfactual implements the loop of Algorithm 1 (Figure 3c): walk the
+// coarse associations in rank order; if the coarse cause is still
+// statistically significant after earlier causes' drift has been
+// counterfactually cleared, accept it and clear its drift; otherwise
+// fall back to any of its subsets that remain significant.
+func Counterfactual(v *driftlog.View, assocs []Association, th fim.Thresholds) ([]Cause, error) {
+	overlay := v.DriftOverlay()
+	var causes []Cause
+	for _, a := range assocs {
+		re, err := fim.Rescore(v, a.Coarse.Items, overlay)
+		if err != nil {
+			return nil, fmt.Errorf("rca: rescoring %s: %w", a.Coarse.Items, err)
+		}
+		if th.Passes(re.Metrics) {
+			causes = append(causes, Cause{Items: a.Coarse.Items, Metrics: a.Coarse.Metrics})
+			if _, err := v.ClearDrift(a.Coarse.Items, overlay); err != nil {
+				return nil, fmt.Errorf("rca: clearing %s: %w", a.Coarse.Items, err)
+			}
+			continue
+		}
+		for _, sub := range a.Subsets {
+			reSub, err := fim.Rescore(v, sub.Items, overlay)
+			if err != nil {
+				return nil, fmt.Errorf("rca: rescoring %s: %w", sub.Items, err)
+			}
+			if th.Passes(reSub.Metrics) {
+				causes = append(causes, Cause{Items: sub.Items, Metrics: sub.Metrics})
+			}
+		}
+	}
+	return causes, nil
+}
+
+// AssignCause returns the index of the first cause (in rank order)
+// matching the attributes, or -1 when none matches ("clean").
+func AssignCause(causes []Cause, attrs map[string]string) int {
+	for i, c := range causes {
+		if c.Matches(attrs) {
+			return i
+		}
+	}
+	return -1
+}
+
+// CauseLabel returns the cause's key for clustering-metric purposes, or
+// "clean" for -1.
+func CauseLabel(causes []Cause, idx int) string {
+	if idx < 0 {
+		return "clean"
+	}
+	return causes[idx].Key()
+}
+
+func toCauses(results []fim.Result) []Cause {
+	causes := make([]Cause, len(results))
+	for i, r := range results {
+		causes[i] = Cause{Items: r.Items, Metrics: r.Metrics}
+	}
+	return causes
+}

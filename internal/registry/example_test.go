@@ -1,0 +1,52 @@
+package registry_test
+
+import (
+	"fmt"
+	"time"
+
+	"nazar/internal/adapt"
+	"nazar/internal/driftlog"
+	"nazar/internal/fim"
+	"nazar/internal/nn"
+	"nazar/internal/rca"
+	"nazar/internal/registry"
+	"nazar/internal/tensor"
+)
+
+// ExamplePool_Select shows on-device version selection (§3.4): the
+// version with the most fully-matching attributes wins; unmatched inputs
+// fall back to the clean model.
+func ExamplePool_Select() {
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 4, tensor.NewRand(1, 1))
+	pool := registry.NewPool(base, 0)
+	now := time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC)
+
+	mkVersion := func(id string, kv ...string) adapt.BNVersion {
+		var conds []driftlog.Cond
+		for i := 0; i+1 < len(kv); i += 2 {
+			conds = append(conds, driftlog.Cond{Attr: kv[i], Value: kv[i+1]})
+		}
+		return adapt.BNVersion{
+			ID:       id,
+			Cause:    rca.Cause{Items: fim.NewItemset(conds...)},
+			Snapshot: nn.CaptureBN(base),
+		}
+	}
+	_ = pool.Install(mkVersion("rain-v1", "weather", "rain"), now)
+	_ = pool.Install(mkVersion("rain-ny-v1", "weather", "rain", "location", "New York"), now)
+
+	show := func(attrs map[string]string) {
+		_, id := pool.Select(attrs)
+		if id == "" {
+			id = "clean model"
+		}
+		fmt.Printf("%v -> %s\n", attrs["weather"], id)
+	}
+	show(map[string]string{"weather": "rain", "location": "New York"})
+	show(map[string]string{"weather": "rain", "location": "Hamburg"})
+	show(map[string]string{"weather": "clear-day"})
+	// Output:
+	// rain -> rain-ny-v1
+	// rain -> rain-v1
+	// clear-day -> clean model
+}

@@ -1,0 +1,251 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nazar/internal/adapt"
+	"nazar/internal/driftlog"
+	"nazar/internal/fim"
+	"nazar/internal/nn"
+	"nazar/internal/rca"
+	"nazar/internal/tensor"
+)
+
+func baseNet() *nn.Network {
+	return nn.NewClassifier(nn.ArchResNet18, 8, 4, tensor.NewRand(1, 1))
+}
+
+// version builds a BN version whose cause is the given attr=value pairs
+// (pairs of strings) with the given risk ratio.
+func version(id string, rr float64, kv ...string) adapt.BNVersion {
+	var conds []driftlog.Cond
+	for i := 0; i+1 < len(kv); i += 2 {
+		conds = append(conds, driftlog.Cond{Attr: kv[i], Value: kv[i+1]})
+	}
+	return adapt.BNVersion{
+		ID:       id,
+		Cause:    rca.Cause{Items: fim.NewItemset(conds...), Metrics: fim.Metrics{RiskRatio: rr}},
+		Snapshot: nn.CaptureBN(baseNet()),
+	}
+}
+
+func at(day int) time.Time {
+	return time.Date(2020, 1, 1+day, 0, 0, 0, 0, time.UTC)
+}
+
+func TestInstallAndSelect(t *testing.T) {
+	p := NewPool(baseNet(), 0)
+	if err := p.Install(version("rain", 2, "weather", "rain"), at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Install(version("rain-ny", 3, "weather", "rain", "location", "NY"), at(1)); err != nil {
+		t.Fatal(err)
+	}
+	// An input matching both must get the more specific version.
+	_, id := p.Select(map[string]string{"weather": "rain", "location": "NY"})
+	if id != "rain-ny" {
+		t.Fatalf("selected %q, want rain-ny", id)
+	}
+	// Input matching only {rain} gets the rain version.
+	_, id = p.Select(map[string]string{"weather": "rain", "location": "LA"})
+	if id != "rain" {
+		t.Fatalf("selected %q, want rain", id)
+	}
+	// Clean input falls back to the base model.
+	net, id := p.Select(map[string]string{"weather": "clear-day"})
+	if id != "" || net != p.Base() {
+		t.Fatalf("expected clean fallback, got %q", id)
+	}
+}
+
+func TestSameAttrsReplaced(t *testing.T) {
+	p := NewPool(baseNet(), 0)
+	_ = p.Install(version("rain-v1", 2, "weather", "rain"), at(0))
+	_ = p.Install(version("rain-v2", 2, "weather", "rain"), at(1))
+	if p.Len() != 1 {
+		t.Fatalf("pool size %d, want 1", p.Len())
+	}
+	_, id := p.Select(map[string]string{"weather": "rain"})
+	if id != "rain-v2" {
+		t.Fatalf("selected %q", id)
+	}
+}
+
+func TestSupersetCauseEvictsCovered(t *testing.T) {
+	// Paper rule: an incoming version whose root cause covers a
+	// superset of an installed version's data evicts it.
+	p := NewPool(baseNet(), 0)
+	_ = p.Install(version("rain-ny", 3, "weather", "rain", "location", "NY"), at(0))
+	_ = p.Install(version("rain", 2, "weather", "rain"), at(1))
+	if p.Len() != 1 {
+		t.Fatalf("pool size %d, want 1 (rain-ny subsumed)", p.Len())
+	}
+	_, id := p.Select(map[string]string{"weather": "rain", "location": "NY"})
+	if id != "rain" {
+		t.Fatalf("selected %q", id)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	p := NewPool(baseNet(), 2)
+	_ = p.Install(version("a", 1, "weather", "rain"), at(0))
+	_ = p.Install(version("b", 1, "weather", "snow"), at(1))
+	_ = p.Install(version("c", 1, "weather", "fog"), at(2))
+	if p.Len() != 2 {
+		t.Fatalf("pool size %d", p.Len())
+	}
+	// "a" (oldest) must be gone.
+	if _, id := p.Select(map[string]string{"weather": "rain"}); id != "" {
+		t.Fatalf("evicted version still selected: %q", id)
+	}
+	if _, id := p.Select(map[string]string{"weather": "fog"}); id != "c" {
+		t.Fatalf("selected %q", id)
+	}
+}
+
+func TestTouchRefreshesRecency(t *testing.T) {
+	p := NewPool(baseNet(), 2)
+	_ = p.Install(version("a", 1, "weather", "rain"), at(0))
+	_ = p.Install(version("b", 1, "weather", "snow"), at(1))
+	if !p.Touch("a", at(2)) {
+		t.Fatal("touch failed")
+	}
+	_ = p.Install(version("c", 1, "weather", "fog"), at(3))
+	// Now "b" is the LRU and must be evicted, "a" survives.
+	if _, id := p.Select(map[string]string{"weather": "rain"}); id != "a" {
+		t.Fatalf("a was evicted; got %q", id)
+	}
+	if _, id := p.Select(map[string]string{"weather": "snow"}); id != "" {
+		t.Fatalf("b still present: %q", id)
+	}
+	if p.Touch("nonexistent", at(4)) {
+		t.Fatal("touch of unknown version should fail")
+	}
+}
+
+func TestRiskRatioBreaksTies(t *testing.T) {
+	p := NewPool(baseNet(), 0)
+	now := at(0)
+	_ = p.Install(version("low", 1.5, "weather", "rain"), now)
+	_ = p.Install(version("high", 4.0, "location", "NY"), now)
+	// Input matches both single-attribute causes installed at the same
+	// time: risk ratio decides.
+	_, id := p.Select(map[string]string{"weather": "rain", "location": "NY"})
+	if id != "high" {
+		t.Fatalf("selected %q, want high (risk-ratio tiebreak)", id)
+	}
+}
+
+func TestRecencyBeatsRiskRatio(t *testing.T) {
+	p := NewPool(baseNet(), 0)
+	_ = p.Install(version("older-high-rr", 9, "weather", "rain"), at(0))
+	_ = p.Install(version("newer-low-rr", 1.2, "location", "NY"), at(1))
+	_, id := p.Select(map[string]string{"weather": "rain", "location": "NY"})
+	if id != "newer-low-rr" {
+		t.Fatalf("selected %q, want newer-low-rr (recency precedes risk ratio)", id)
+	}
+}
+
+func TestCleanVersionReplacesBase(t *testing.T) {
+	base := baseNet()
+	p := NewPool(base, 0)
+	// Move the BN state so the clean version is distinguishable.
+	adapted := base.Clone()
+	adapted.BatchNorms()[0].RunMean[0] = 42
+	clean := adapt.BNVersion{ID: "clean-v2", Snapshot: nn.CaptureBN(adapted)}
+	if err := p.Install(clean, at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 0 {
+		t.Fatal("clean version must not occupy a pool slot")
+	}
+	if p.Base().BatchNorms()[0].RunMean[0] != 42 {
+		t.Fatal("base not replaced")
+	}
+}
+
+func TestInstallTopologyMismatch(t *testing.T) {
+	p := NewPool(baseNet(), 0)
+	other := nn.NewClassifier(nn.ArchResNet50, 8, 4, tensor.NewRand(2, 2))
+	v := adapt.BNVersion{ID: "bad", Cause: rca.Cause{Items: fim.NewItemset(driftlog.Cond{Attr: "w", Value: "x"})},
+		Snapshot: nn.CaptureBN(other)}
+	if err := p.Install(v, at(0)); err == nil {
+		t.Fatal("expected topology error")
+	}
+}
+
+func TestVersionIDs(t *testing.T) {
+	p := NewPool(baseNet(), 0)
+	_ = p.Install(version("a", 1, "weather", "rain"), at(0))
+	_ = p.Install(version("b", 1, "weather", "snow"), at(1))
+	ids := p.VersionIDs()
+	if len(ids) != 2 || ids[0] != "b" || ids[1] != "a" {
+		t.Fatalf("ids %v", ids)
+	}
+}
+
+// Property: after any install sequence, the pool never exceeds capacity
+// and Select only returns fully matching versions.
+func TestQuickPoolInvariants(t *testing.T) {
+	weathers := []string{"rain", "snow", "fog"}
+	locs := []string{"NY", "LA"}
+	f := func(ops []uint8) bool {
+		p := NewPool(baseNet(), 2)
+		day := 0
+		for _, op := range ops {
+			if len(ops) > 40 {
+				ops = ops[:40]
+			}
+			w := weathers[int(op)%3]
+			var v adapt.BNVersion
+			if op%2 == 0 {
+				v = version(fmt.Sprintf("v%d", day), 1+float64(op%5), "weather", w)
+			} else {
+				v = version(fmt.Sprintf("v%d", day), 1+float64(op%5), "weather", w, "location", locs[int(op/3)%2])
+			}
+			if err := p.Install(v, at(day)); err != nil {
+				return false
+			}
+			day++
+			if p.Len() > 2 {
+				return false
+			}
+		}
+		// Selection sanity: a clear-day input must get the clean model.
+		if _, id := p.Select(map[string]string{"weather": "clear-day"}); id != "" {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveByCauseAndCauseKeys(t *testing.T) {
+	p := NewPool(baseNet(), 0)
+	_ = p.Install(version("a", 1, "weather", "rain"), at(0))
+	_ = p.Install(version("b", 1, "device", "android_3"), at(1))
+	keys := p.CauseKeys()
+	if len(keys) != 2 {
+		t.Fatalf("keys %v", keys)
+	}
+	if !p.RemoveByCause("device=android_3") {
+		t.Fatal("remove failed")
+	}
+	if p.RemoveByCause("device=android_3") {
+		t.Fatal("double remove should report false")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("len %d", p.Len())
+	}
+	if _, id := p.Select(map[string]string{"device": "android_3", "weather": "clear-day"}); id != "" {
+		t.Fatalf("retired cause still selected: %q", id)
+	}
+	if _, id := p.Select(map[string]string{"weather": "rain"}); id != "a" {
+		t.Fatal("unrelated version lost")
+	}
+}

@@ -1,0 +1,468 @@
+// Package tensor provides the dense linear-algebra kernels that the rest
+// of the system is built on: row-major float64 matrices with the handful
+// of operations a from-scratch neural network needs (matrix products in
+// the three orientations required by backpropagation, elementwise maps,
+// row reductions and softmax).
+//
+// The package is deliberately small and allocation-conscious rather than
+// general: it is the compute substrate for internal/nn, not a BLAS.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty matrix; use New or one of the constructors
+// for anything useful. Data is exported read-mostly: packages may iterate
+// it directly for speed, but should mutate through methods so shape
+// invariants hold.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols matrix.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix by copying the given equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor: ragged row %d: len %d != %d", i, len(r), cols))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set stores v at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies src's contents into m; shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	m.mustSameShape(src, "CopyFrom")
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element of m to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether m and o have identical dimensions.
+func (m *Matrix) SameShape(o *Matrix) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+func (m *Matrix) mustSameShape(o *Matrix, op string) {
+	if !m.SameShape(o) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Add adds o into m elementwise.
+func (m *Matrix) Add(o *Matrix) {
+	m.mustSameShape(o, "Add")
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// Sub subtracts o from m elementwise.
+func (m *Matrix) Sub(o *Matrix) {
+	m.mustSameShape(o, "Sub")
+	for i, v := range o.Data {
+		m.Data[i] -= v
+	}
+}
+
+// Scale multiplies every element of m by s.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled adds s*o into m elementwise (axpy).
+func (m *Matrix) AddScaled(o *Matrix, s float64) {
+	m.mustSameShape(o, "AddScaled")
+	for i, v := range o.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// Hadamard multiplies m by o elementwise.
+func (m *Matrix) Hadamard(o *Matrix) {
+	m.mustSameShape(o, "Hadamard")
+	for i, v := range o.Data {
+		m.Data[i] *= v
+	}
+}
+
+// Apply replaces every element x with f(x).
+func (m *Matrix) Apply(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Matrix) T() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// parallelThreshold is the amount of multiply-add work below which MatMul
+// runs single-threaded; tiny products are common in per-device inference
+// and goroutine fan-out would dominate them.
+const parallelThreshold = 1 << 16
+
+// MatMul computes dst = a·b. dst must not alias a or b and must be
+// pre-shaped to a.Rows×b.Cols. It is parallelized across rows for large
+// products.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dim %d != %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold {
+		matMulRange(dst, a, b, 0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matMulRange(dst, a, b, lo, hi) })
+}
+
+// matMulRange computes rows [lo,hi) of dst = a·b using an ikj loop order
+// that keeps the inner loop sequential over both b and dst rows.
+func matMulRange(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		di := dst.Data[i*n : (i+1)*n]
+		for j := range di {
+			di[j] = 0
+		}
+		ai := a.Row(i)
+		for k, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bk := b.Data[k*n : (k+1)*n]
+			for j, bv := range bk {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulATB computes dst = aᵀ·b without materializing the transpose.
+// dst must be a.Cols×b.Cols. Used for weight gradients (xᵀ·dy).
+func MatMulATB(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulATB outer dim %d != %d", a.Rows, b.Rows))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulATB dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	dst.Zero()
+	n := b.Cols
+	for r := 0; r < a.Rows; r++ {
+		ar := a.Row(r)
+		br := b.Data[r*n : (r+1)*n]
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			di := dst.Data[i*n : (i+1)*n]
+			for j, bv := range br {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABT computes dst = a·bᵀ without materializing the transpose.
+// dst must be a.Rows×b.Rows. Used for input gradients (dy·Wᵀ).
+func MatMulABT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulABT inner dim %d != %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulABT dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	f := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Row(i)
+			di := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				bj := b.Row(j)
+				var s float64
+				for k, av := range ai {
+					s += av * bj[k]
+				}
+				di[j] = s
+			}
+		}
+	}
+	if a.Rows*a.Cols*b.Rows < parallelThreshold {
+		f(0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, f)
+}
+
+// parallelRows splits [0,rows) across GOMAXPROCS goroutines and waits.
+func parallelRows(rows int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		f(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// AddRowVector adds the length-Cols vector v to every row of m.
+func (m *Matrix) AddRowVector(v []float64) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector len %d != cols %d", len(v), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, b := range v {
+			row[j] += b
+		}
+	}
+}
+
+// ColSums returns the per-column sums of m as a length-Cols slice.
+func (m *Matrix) ColSums() []float64 {
+	sums := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			sums[j] += v
+		}
+	}
+	return sums
+}
+
+// ColMeans returns the per-column means of m.
+func (m *Matrix) ColMeans() []float64 {
+	sums := m.ColSums()
+	if m.Rows == 0 {
+		return sums
+	}
+	inv := 1 / float64(m.Rows)
+	for j := range sums {
+		sums[j] *= inv
+	}
+	return sums
+}
+
+// ColVariances returns the per-column (biased) variances of m given the
+// precomputed column means.
+func (m *Matrix) ColVariances(means []float64) []float64 {
+	vars := make([]float64, m.Cols)
+	if m.Rows == 0 {
+		return vars
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			d := v - means[j]
+			vars[j] += d * d
+		}
+	}
+	inv := 1 / float64(m.Rows)
+	for j := range vars {
+		vars[j] *= inv
+	}
+	return vars
+}
+
+// SoftmaxRows overwrites every row of m with its numerically stable
+// softmax.
+func (m *Matrix) SoftmaxRows() {
+	for i := 0; i < m.Rows; i++ {
+		SoftmaxInPlace(m.Row(i))
+	}
+}
+
+// SoftmaxInPlace overwrites v with softmax(v) using the max-subtraction
+// trick for stability.
+func SoftmaxInPlace(v []float64) {
+	if len(v) == 0 {
+		return
+	}
+	max := v[0]
+	for _, x := range v[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	var sum float64
+	for i, x := range v {
+		e := math.Exp(x - max)
+		v[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Softmax returns softmax(v) in a new slice.
+func Softmax(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	SoftmaxInPlace(out)
+	return out
+}
+
+// LogSumExp returns log(Σ exp(v_i)) computed stably.
+func LogSumExp(v []float64) float64 {
+	if len(v) == 0 {
+		return math.Inf(-1)
+	}
+	max := v[0]
+	for _, x := range v[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	var sum float64
+	for _, x := range v {
+		sum += math.Exp(x - max)
+	}
+	return max + math.Log(sum)
+}
+
+// ArgMax returns the index of the largest element of v (first on ties)
+// and its value. It panics on an empty slice.
+func ArgMax(v []float64) (int, float64) {
+	if len(v) == 0 {
+		panic("tensor: ArgMax of empty slice")
+	}
+	best, bv := 0, v[0]
+	for i, x := range v[1:] {
+		if x > bv {
+			best, bv = i+1, x
+		}
+	}
+	return best, bv
+}
+
+// Max returns the largest element of v.
+func Max(v []float64) float64 {
+	_, m := ArgMax(v)
+	return m
+}
+
+// Dot returns the inner product of equal-length a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// String renders small matrices for debugging; large ones are summarized.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}

@@ -1,0 +1,126 @@
+package weather
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Source provides a per-location daily condition — the interface the rest
+// of the system consumes, satisfied by both the synthetic Generator and
+// CSV-loaded historical records.
+type Source interface {
+	ConditionAt(location string, t time.Time) (Condition, error)
+}
+
+var _ Source = (*Generator)(nil)
+var _ Source = (*Records)(nil)
+
+// Records is a weather source backed by explicit per-day records, e.g.
+// loaded from the Kaggle daily-weather CSVs the paper uses. Unknown
+// (location, day) pairs report an error.
+type Records struct {
+	byLocation map[string]map[int]Condition // location -> day index -> condition
+}
+
+// NewRecords returns an empty record set.
+func NewRecords() *Records {
+	return &Records{byLocation: map[string]map[int]Condition{}}
+}
+
+// Set stores the condition for a location and date.
+func (r *Records) Set(location string, t time.Time, c Condition) error {
+	d := DayIndex(t)
+	if d < 0 || d >= Days() {
+		return fmt.Errorf("weather: %s outside evaluation window", t.Format("2006-01-02"))
+	}
+	m, ok := r.byLocation[location]
+	if !ok {
+		m = map[int]Condition{}
+		r.byLocation[location] = m
+	}
+	m[d] = c
+	return nil
+}
+
+// ConditionAt implements Source.
+func (r *Records) ConditionAt(location string, t time.Time) (Condition, error) {
+	d := DayIndex(t)
+	if d < 0 || d >= Days() {
+		return "", fmt.Errorf("weather: %s outside evaluation window", t.Format("2006-01-02"))
+	}
+	m, ok := r.byLocation[location]
+	if !ok {
+		return "", fmt.Errorf("weather: no records for location %q", location)
+	}
+	c, ok := m[d]
+	if !ok {
+		return "", fmt.Errorf("weather: no record for %s on %s", location, t.Format("2006-01-02"))
+	}
+	return c, nil
+}
+
+// Locations returns the locations with at least one record.
+func (r *Records) Locations() []string {
+	out := make([]string, 0, len(r.byLocation))
+	for loc := range r.byLocation {
+		out = append(out, loc)
+	}
+	return out
+}
+
+// LoadCSV parses historical weather in the layout of the Kaggle daily
+// dataset the paper cites: a header row followed by
+// `location,date,condition` rows, dates as YYYY-MM-DD and conditions one
+// of clear-day/rain/snow/fog (case-insensitive; a few common synonyms
+// like "clear", "sunny", "drizzle", "mist" are normalized). Rows outside
+// the evaluation window are skipped; malformed rows are errors.
+func LoadCSV(rd io.Reader) (*Records, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = 3
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("weather: parse csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("weather: empty csv")
+	}
+	recs := NewRecords()
+	for i, row := range rows[1:] { // skip header
+		loc := strings.TrimSpace(row[0])
+		date, err := time.Parse("2006-01-02", strings.TrimSpace(row[1]))
+		if err != nil {
+			return nil, fmt.Errorf("weather: row %d: bad date %q", i+2, row[1])
+		}
+		cond, err := normalizeCondition(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("weather: row %d: %w", i+2, err)
+		}
+		if d := DayIndex(date); d < 0 || d >= Days() {
+			continue // outside the evaluation window
+		}
+		if err := recs.Set(loc, date, cond); err != nil {
+			return nil, err
+		}
+	}
+	return recs, nil
+}
+
+// normalizeCondition maps raw condition strings to the four canonical
+// conditions.
+func normalizeCondition(raw string) (Condition, error) {
+	switch strings.ToLower(strings.TrimSpace(raw)) {
+	case "clear-day", "clear", "sunny", "cloudy", "partly-cloudy", "overcast":
+		return ClearDay, nil
+	case "rain", "rainy", "drizzle", "showers", "thunderstorm":
+		return Rain, nil
+	case "snow", "snowy", "sleet", "hail":
+		return Snow, nil
+	case "fog", "foggy", "mist", "haze":
+		return Fog, nil
+	default:
+		return "", fmt.Errorf("unknown condition %q", raw)
+	}
+}

@@ -1,0 +1,94 @@
+package weather
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleCSV = `location,date,condition
+Hamburg,2020-01-01,snowy
+Hamburg,2020-01-02,Clear
+Hamburg,2020-01-03,drizzle
+Zurich,2020-01-01,mist
+Zurich,2020-02-10,SNOW
+Zurich,2019-12-31,rain
+`
+
+func TestLoadCSV(t *testing.T) {
+	recs, err := LoadCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		loc  string
+		date time.Time
+		want Condition
+	}{
+		{"Hamburg", Day(0), Snow},
+		{"Hamburg", Day(1), ClearDay},
+		{"Hamburg", Day(2), Rain},
+		{"Zurich", Day(0), Fog},
+		{"Zurich", time.Date(2020, 2, 10, 0, 0, 0, 0, time.UTC), Snow},
+	}
+	for _, c := range cases {
+		got, err := recs.ConditionAt(c.loc, c.date)
+		if err != nil {
+			t.Fatalf("%s %s: %v", c.loc, c.date, err)
+		}
+		if got != c.want {
+			t.Fatalf("%s %s: got %s want %s", c.loc, c.date, got, c.want)
+		}
+	}
+	// The 2019 row is outside the window and must have been skipped.
+	if _, err := recs.ConditionAt("Zurich", Day(1)); err == nil {
+		t.Fatal("missing record should error")
+	}
+	if len(recs.Locations()) != 2 {
+		t.Fatalf("locations %v", recs.Locations())
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	if _, err := LoadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty csv must error")
+	}
+	if _, err := LoadCSV(strings.NewReader("h,d,c\nX,not-a-date,rain\n")); err == nil {
+		t.Fatal("bad date must error")
+	}
+	if _, err := LoadCSV(strings.NewReader("h,d,c\nX,2020-01-01,plasma\n")); err == nil {
+		t.Fatal("unknown condition must error")
+	}
+	if _, err := LoadCSV(strings.NewReader("h,d\nX,2020-01-01\n")); err == nil {
+		t.Fatal("wrong field count must error")
+	}
+}
+
+func TestRecordsOutOfWindow(t *testing.T) {
+	r := NewRecords()
+	if err := r.Set("X", End.AddDate(0, 0, 5), Rain); err == nil {
+		t.Fatal("out-of-window set must error")
+	}
+	if _, err := r.ConditionAt("X", End.AddDate(0, 0, 5)); err == nil {
+		t.Fatal("out-of-window query must error")
+	}
+	if _, err := r.ConditionAt("unknown", Day(0)); err == nil {
+		t.Fatal("unknown location must error")
+	}
+}
+
+func TestSourceInterface(t *testing.T) {
+	// Both sources are interchangeable behind Source.
+	var src Source = NewGenerator(1)
+	if _, err := src.ConditionAt("Hamburg", Day(3)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src = recs
+	if _, err := src.ConditionAt("Hamburg", Day(0)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package weather_test
+
+import (
+	"fmt"
+	"strings"
+
+	"nazar/internal/weather"
+)
+
+// ExampleGenerator shows the seeded historical-weather source used by the
+// end-to-end workloads.
+func ExampleGenerator() {
+	gen := weather.NewGenerator(42)
+	cond, err := gen.ConditionAt("Hamburg", weather.Day(10))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("deterministic:", cond == mustCond(gen, "Hamburg", 10))
+	fmt.Printf("calendar: %d days from %s\n", weather.Days(), weather.Start.Format("2006-01-02"))
+	// Output:
+	// deterministic: true
+	// calendar: 112 days from 2020-01-01
+}
+
+func mustCond(g *weather.Generator, loc string, day int) weather.Condition {
+	c, err := g.ConditionAt(loc, weather.Day(day))
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ExampleLoadCSV shows loading real historical records in the Kaggle
+// daily-weather layout.
+func ExampleLoadCSV() {
+	csv := `location,date,condition
+Hamburg,2020-01-01,snowy
+Hamburg,2020-01-02,sunny
+`
+	recs, err := weather.LoadCSV(strings.NewReader(csv))
+	if err != nil {
+		panic(err)
+	}
+	day1, _ := recs.ConditionAt("Hamburg", weather.Day(0))
+	day2, _ := recs.ConditionAt("Hamburg", weather.Day(1))
+	fmt.Println(day1, day2)
+	// Output:
+	// snow clear-day
+}

@@ -1,0 +1,28 @@
+package weather
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadCSV ensures the historical-weather parser never panics and,
+// when it accepts input, produces a queryable record set.
+func FuzzLoadCSV(f *testing.F) {
+	f.Add("location,date,condition\nHamburg,2020-01-01,snow\n")
+	f.Add("h,d,c\nX,2020-02-30,rain\n")
+	f.Add("h,d,c\n\"quoted,loc\",2020-01-05,fog\n")
+	f.Add("")
+	f.Add("h,d,c\nX,2019-01-01,snow\n") // out of window: skipped
+	f.Fuzz(func(t *testing.T, input string) {
+		recs, err := LoadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, loc := range recs.Locations() {
+			for d := 0; d < Days(); d++ {
+				// Must never panic; errors for missing days are fine.
+				_, _ = recs.ConditionAt(loc, Day(d))
+			}
+		}
+	})
+}
