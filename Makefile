@@ -1,0 +1,36 @@
+# Developer entry points. `make ci` is the merge gate: it must pass on
+# every commit and is what .github/workflows/ci.yml runs.
+
+GO ?= go
+
+# Packages with dedicated concurrency stress tests; the race detector is
+# mandatory for them (sharded stores, batched ingest, HTTP surface).
+RACE_PKGS = ./internal/cloud/... ./internal/driftlog/... ./internal/httpapi/...
+
+.PHONY: ci vet build test race fuzz bench clean
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Short coverage-guided fuzz pass over the HTTP decode surface (the
+# checked-in seed corpus always runs as part of `make test`).
+fuzz:
+	$(GO) test ./internal/httpapi/ -run '^$$' -fuzz FuzzIngestBatch -fuzztime 30s
+	$(GO) test ./internal/httpapi/ -run '^$$' -fuzz FuzzAnalyzeRequest -fuzztime 30s
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkRunWindow$$' -benchtime 2s .
+
+clean:
+	$(GO) clean -testcache

@@ -9,13 +9,19 @@
 package nazar_test
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"nazar/internal/cloud"
+	"nazar/internal/driftlog"
 	"nazar/internal/experiments"
 	"nazar/internal/imagesim"
 	"nazar/internal/nn"
 	"nazar/internal/pipeline"
 	"nazar/internal/rca"
+	"nazar/internal/tensor"
 )
 
 var benchOpts = experiments.Options{Quick: true, Seed: 42}
@@ -256,6 +262,102 @@ func BenchmarkFederatedE2E(b *testing.B) {
 	b.ReportMetric(100*res.NoAdapt, "noadapt-drift-%")
 	b.ReportMetric(100*res.Nazar, "nazar-drift-%")
 	b.ReportMetric(100*res.Federated, "federated-drift-%")
+}
+
+// benchEntry builds one drift-log report for the ingest benchmarks.
+func benchEntry(day time.Time, dev string, i int) (driftlog.Entry, []float64) {
+	weather := "clear-day"
+	if i%2 == 0 {
+		weather = "snow"
+	}
+	sample := make([]float64, 8)
+	for j := range sample {
+		sample[j] = float64((i+j)%17) / 17
+	}
+	return driftlog.Entry{
+		Time:  day.Add(time.Duration(i%1440) * time.Minute),
+		Drift: i%2 == 0,
+		Attrs: map[string]string{
+			driftlog.AttrDevice:   dev,
+			driftlog.AttrWeather:  weather,
+			driftlog.AttrLocation: []string{"A", "B", "C"}[i%3],
+		},
+	}, sample
+}
+
+// BenchmarkIngest measures the per-entry ingest hot path under parallel
+// device load. The sharded store makes concurrent devices mostly
+// lock-disjoint; the seed's single-mutex store serialized this loop.
+func BenchmarkIngest(b *testing.B) {
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 2, tensor.NewRand(1, 1))
+	svc := cloud.NewService(base, cloud.DefaultConfig())
+	day := time.Date(2020, 1, 15, 0, 0, 0, 0, time.UTC)
+	var devSeq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dev := fmt.Sprintf("dev_%02d", devSeq.Add(1))
+		i := 0
+		for pb.Next() {
+			e, sample := benchEntry(day, dev, i)
+			svc.Ingest(e, sample)
+			i++
+		}
+	})
+}
+
+// BenchmarkIngestBatch measures the batched path (one lock round per
+// shard per batch instead of per entry).
+func BenchmarkIngestBatch(b *testing.B) {
+	const batchSize = 256
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 2, tensor.NewRand(1, 1))
+	svc := cloud.NewService(base, cloud.DefaultConfig())
+	day := time.Date(2020, 1, 15, 0, 0, 0, 0, time.UTC)
+	var devSeq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dev := fmt.Sprintf("dev_%02d", devSeq.Add(1))
+		i := 0
+		for pb.Next() {
+			entries := make([]driftlog.Entry, batchSize)
+			samples := make([][]float64, batchSize)
+			for k := range entries {
+				entries[k], samples[k] = benchEntry(day, dev, i)
+				i++
+			}
+			if err := svc.IngestBatch(entries, samples); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(batchSize), "entries/op")
+}
+
+// BenchmarkRunWindow measures one analysis/adaptation cycle over a
+// 4096-row drift log with the parallel mining/pruning/adaptation path.
+func BenchmarkRunWindow(b *testing.B) {
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 2, tensor.NewRand(1, 1))
+	cfg := cloud.DefaultConfig()
+	cfg.MinSamplesPerCause = 16
+	cfg.AdaptCfg.Epochs = 1
+	cfg.AdaptCfg.MinSteps = 5
+	svc := cloud.NewService(base, cfg)
+	day := time.Date(2020, 1, 15, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 4096; i++ {
+		e, sample := benchEntry(day, fmt.Sprintf("dev_%02d", i%32), i)
+		svc.Ingest(e, sample)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := svc.RunWindow(time.Time{}, time.Time{}, day.AddDate(0, 0, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.LogRows != 4096 {
+			b.Fatalf("scanned %d rows", res.LogRows)
+		}
+	}
 }
 
 func BenchmarkDetectorAUROC(b *testing.B) {

@@ -217,10 +217,12 @@ type SampleSource func(c rca.Cause) *tensor.Matrix
 // fewer than minSamples uploads are skipped: adaptation on a handful of
 // images underfits.
 //
-// Causes adapt concurrently — each run clones the base and they share no
-// state (§5.8: "model adaptation can be easily parallelized"). Each cause
-// gets its own deterministic RNG derived from cfg.Rng's first draw and
-// the cause key, so results do not depend on scheduling.
+// Causes adapt concurrently over a bounded worker pool (at most
+// tensor.Workers() runs in flight) — each run clones the base and they
+// share no state (§5.8: "model adaptation can be easily parallelized").
+// Each cause gets its own deterministic RNG derived from cfg.Rng's first
+// draw and the cause key, and results land in index-addressed slots, so
+// the output is identical at any pool width.
 func ByCause(base *nn.Network, causes []rca.Cause, samples SampleSource, minSamples int, cfg Config, now time.Time) ([]BNVersion, error) {
 	if minSamples < 2 {
 		minSamples = 2
@@ -234,6 +236,7 @@ func ByCause(base *nn.Network, causes []rca.Cause, samples SampleSource, minSamp
 		ok      bool
 	}
 	slots := make([]slot, len(causes))
+	sem := make(chan struct{}, tensor.Workers())
 	var wg sync.WaitGroup
 	for i, c := range causes {
 		sx := samples(c)
@@ -241,8 +244,10 @@ func ByCause(base *nn.Network, causes []rca.Cause, samples SampleSource, minSamp
 			continue
 		}
 		wg.Add(1)
+		sem <- struct{}{}
 		go func(i int, c rca.Cause, sx *tensor.Matrix) {
 			defer wg.Done()
+			defer func() { <-sem }()
 			causeCfg := cfg
 			causeCfg.Rng = tensor.NewRand(baseSeed^hashKey(c.Key()), uint64(i)+1)
 			adapted, err := Adapt(base, sx, causeCfg)

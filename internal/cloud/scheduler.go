@@ -28,6 +28,11 @@ type Scheduler struct {
 	runs    int
 	cancel  context.CancelFunc
 	done    chan struct{}
+
+	// runMu serializes whole cycles: with ingestion now concurrent, a
+	// manual RunOnce racing a scheduled tick must not interleave two
+	// RunWindow calls over overlapping windows.
+	runMu sync.Mutex
 }
 
 // NewScheduler builds a scheduler over the service. interval must be
@@ -42,6 +47,8 @@ func NewScheduler(svc *Service, interval time.Duration) *Scheduler {
 // RunOnce executes one cycle covering (lastRun, now]; exported so tests
 // and manual triggers share the scheduler's bookkeeping.
 func (s *Scheduler) RunOnce() (WindowResult, error) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	s.mu.Lock()
 	from := s.lastRun
 	s.mu.Unlock()

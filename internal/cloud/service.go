@@ -9,7 +9,9 @@ package cloud
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nazar/internal/adapt"
@@ -20,15 +22,31 @@ import (
 	"nazar/internal/tensor"
 )
 
-// SampleStore holds uploaded input samples keyed by ID. With a positive
-// capacity it retains only the most recent samples (older ones are
-// dropped; stale IDs then gather nothing), bounding cloud memory the way
-// the paper's S3 lifecycle rules would.
+// sampleShards is the SampleStore shard count (power of two).
+const (
+	sampleShards    = 16
+	sampleShardMask = sampleShards - 1
+)
+
+// sampleShard holds every sample whose ID ≡ shard index (mod
+// sampleShards), densely packed: the vector for ID id lives at position
+// id/sampleShards - basePos.
+type sampleShard struct {
+	mu      sync.RWMutex
+	basePos int64 // position of vectors[0]
+	vectors [][]float64
+}
+
+// SampleStore holds uploaded input samples keyed by ID. IDs are assigned
+// from a global counter and strided across shards, so concurrent devices
+// upload without contending on a single mutex. With a positive capacity
+// it retains only the most recent samples — IDs below the eviction
+// watermark (next-capacity) gather nothing — bounding cloud memory the
+// way the paper's S3 lifecycle rules would.
 type SampleStore struct {
-	mu       sync.RWMutex
-	vectors  [][]float64
-	capacity int
-	dropped  int64 // IDs below this have been evicted
+	next     atomic.Int64
+	capacity int64 // 0 = unbounded
+	shards   [sampleShards]sampleShard
 }
 
 // NewSampleStore returns an unbounded store.
@@ -37,40 +55,85 @@ func NewSampleStore() *SampleStore { return &SampleStore{} }
 // NewBoundedSampleStore returns a store retaining at most capacity
 // samples.
 func NewBoundedSampleStore(capacity int) *SampleStore {
-	return &SampleStore{capacity: capacity}
+	return &SampleStore{capacity: int64(capacity)}
+}
+
+// watermark returns the smallest retained ID (0 when unbounded).
+func (s *SampleStore) watermark() int64 {
+	if s.capacity <= 0 {
+		return 0
+	}
+	if w := s.next.Load() - s.capacity; w > 0 {
+		return w
+	}
+	return 0
 }
 
 // Add stores a sample and returns its ID.
 func (s *SampleStore) Add(x []float64) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.vectors = append(s.vectors, append([]float64(nil), x...))
-	if s.capacity > 0 && len(s.vectors) > s.capacity {
-		evict := len(s.vectors) - s.capacity
-		s.vectors = append([][]float64(nil), s.vectors[evict:]...)
-		s.dropped += int64(evict)
+	id := s.next.Add(1) - 1
+	sh := &s.shards[id&sampleShardMask]
+	pos := id / sampleShards
+	v := append([]float64(nil), x...)
+	sh.mu.Lock()
+	// Concurrent adders may reach the shard out of ID order; grow with
+	// gaps that the lagging adder fills.
+	for int64(len(sh.vectors)) <= pos-sh.basePos {
+		sh.vectors = append(sh.vectors, nil)
 	}
-	return s.dropped + int64(len(s.vectors)-1)
+	sh.vectors[pos-sh.basePos] = v
+	// Lazily trim everything below the eviction watermark.
+	if w := s.watermark(); w > 0 {
+		shardIdx := id & sampleShardMask
+		minPos := int64(0)
+		if w > shardIdx {
+			minPos = (w - shardIdx + sampleShards - 1) / sampleShards
+		}
+		if drop := minPos - sh.basePos; drop > 0 {
+			if drop > int64(len(sh.vectors)) {
+				drop = int64(len(sh.vectors))
+			}
+			sh.vectors = append([][]float64(nil), sh.vectors[drop:]...)
+			sh.basePos += drop
+		}
+	}
+	sh.mu.Unlock()
+	return id
 }
 
-// Len returns the number of stored samples.
+// Len returns the number of retained samples.
 func (s *SampleStore) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.vectors)
+	n := s.next.Load()
+	if s.capacity > 0 && n > s.capacity {
+		return int(s.capacity)
+	}
+	return int(n)
 }
 
 // Gather materializes the samples with the given IDs as a batch matrix
-// (nil when ids is empty). Unknown or evicted IDs are skipped.
+// (nil when ids is empty), rows in the order of ids. Unknown or evicted
+// IDs are skipped.
 func (s *SampleStore) Gather(ids []int64) *tensor.Matrix {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+	defer func() {
+		for i := range s.shards {
+			s.shards[i].mu.RUnlock()
+		}
+	}()
+	next, w := s.next.Load(), s.watermark()
 	var rows [][]float64
 	for _, id := range ids {
-		idx := id - s.dropped
-		if id >= 0 && idx >= 0 && idx < int64(len(s.vectors)) {
-			rows = append(rows, s.vectors[idx])
+		if id < w || id >= next {
+			continue
 		}
+		sh := &s.shards[id&sampleShardMask]
+		pos := id/sampleShards - sh.basePos
+		if pos < 0 || pos >= int64(len(sh.vectors)) || sh.vectors[pos] == nil {
+			continue
+		}
+		rows = append(rows, sh.vectors[pos])
 	}
 	if len(rows) == 0 {
 		return nil
@@ -129,6 +192,13 @@ type sampleMeta struct {
 	t     time.Time
 }
 
+// metaShard buckets sample metadata by sample ID so concurrent ingests
+// do not serialize on the service mutex.
+type metaShard struct {
+	mu    sync.Mutex
+	metas []sampleMeta
+}
+
 // Service is the cloud side of Nazar.
 type Service struct {
 	cfg Config
@@ -136,7 +206,7 @@ type Service struct {
 	mu      sync.Mutex
 	log     *driftlog.Store
 	samples *SampleStore
-	meta    []sampleMeta
+	meta    [sampleShards]metaShard
 	base    *nn.Network
 	// versionSeq disambiguates version IDs across windows.
 	versionSeq int
@@ -186,19 +256,60 @@ func (s *Service) Base() *nn.Network {
 	return s.base
 }
 
+// recordMeta files a sample's metadata in its ID shard.
+func (s *Service) recordMeta(m sampleMeta) {
+	sh := &s.meta[m.id&sampleShardMask]
+	sh.mu.Lock()
+	sh.metas = append(sh.metas, m)
+	sh.mu.Unlock()
+}
+
+// allMeta snapshots every shard's metadata, ordered by sample ID.
+func (s *Service) allMeta() []sampleMeta {
+	var out []sampleMeta
+	for i := range s.meta {
+		sh := &s.meta[i]
+		sh.mu.Lock()
+		out = append(out, sh.metas...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
+	return out
+}
+
 // Ingest records a drift-log entry, storing the sample (if any) and
 // linking it to the entry.
 func (s *Service) Ingest(e driftlog.Entry, sample []float64) {
 	if sample != nil {
 		id := s.samples.Add(sample)
 		e.SampleID = id
-		s.mu.Lock()
-		s.meta = append(s.meta, sampleMeta{id: id, attrs: e.Attrs, t: e.Time})
-		s.mu.Unlock()
+		s.recordMeta(sampleMeta{id: id, attrs: e.Attrs, t: e.Time})
 	} else if e.SampleID != -1 {
 		e.SampleID = -1
 	}
 	s.log.Append(e)
+}
+
+// IngestBatch records many drift-log entries in one call, taking each
+// store lock once per batch rather than once per entry. samples, when
+// non-nil, must be the same length as entries; samples[i] == nil means
+// entry i carried no uploaded input. The entries slice is not retained
+// but its rows are modified in place (SampleID is rewritten).
+func (s *Service) IngestBatch(entries []driftlog.Entry, samples [][]float64) error {
+	if samples != nil && len(samples) != len(entries) {
+		return fmt.Errorf("cloud: ingest batch: %d entries but %d samples", len(entries), len(samples))
+	}
+	for i := range entries {
+		if samples != nil && samples[i] != nil {
+			id := s.samples.Add(samples[i])
+			entries[i].SampleID = id
+			s.recordMeta(sampleMeta{id: id, attrs: entries[i].Attrs, t: entries[i].Time})
+		} else if entries[i].SampleID != -1 {
+			entries[i].SampleID = -1
+		}
+	}
+	s.log.AppendBatch(entries)
+	return nil
 }
 
 // WindowResult is the outcome of one analysis/adaptation cycle.
@@ -300,9 +411,7 @@ func (s *Service) LoadLog(path string) error { return s.log.LoadFile(path) }
 // cleanSamples gathers in-window samples whose attributes match no
 // discovered cause.
 func (s *Service) cleanSamples(causes []rca.Cause, from, to time.Time) *tensor.Matrix {
-	s.mu.Lock()
-	metas := append([]sampleMeta(nil), s.meta...)
-	s.mu.Unlock()
+	metas := s.allMeta()
 	var ids []int64
 	for _, m := range metas {
 		if !from.IsZero() && m.t.Before(from) {

@@ -8,13 +8,24 @@
 // window, plus a drift-flag overlay for counterfactual analysis — as an
 // embedded, dictionary-encoded columnar table with linear-time scans
 // (which is what makes Fig. 9d's runtime-vs-rows relationship linear).
+//
+// To serve fleet-scale ingestion the table is sharded by device: each
+// shard is an independent columnar table behind its own lock, so
+// concurrent devices append without contending on a global mutex, and
+// window queries snapshot every shard once and then scan lock-free.
+// Every row also carries a global sequence number, which defines the
+// canonical row order (Entry, SampleIDs, WriteTo) so sharding never
+// changes observable ordering or the on-disk format.
 package driftlog
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"nazar/internal/tensor"
 )
 
 // Entry is one drift-log row: the detection verdict plus device metadata.
@@ -37,6 +48,12 @@ const (
 	AttrLocation = "location"
 	AttrWeather  = "weather"
 	AttrModel    = "model"
+)
+
+// numShards is the shard count (power of two; shard = hash & shardMask).
+const (
+	numShards = 16
+	shardMask = numShards - 1
 )
 
 // column is a dictionary-encoded attribute column. ID 0 is reserved for
@@ -70,54 +87,151 @@ func (c *column) intern(v string) uint32 {
 	return id
 }
 
-// Store is the drift log. It is safe for concurrent use.
-type Store struct {
+// shard is one independently locked columnar sub-table.
+type shard struct {
 	mu      sync.RWMutex
+	seqs    []int64 // global sequence numbers (not sorted under concurrency)
 	times   []int64 // unix nanos
 	drift   []bool
 	samples []int64
 	cols    map[string]*column
-	order   []string // column names in first-seen order
+	order   []string // column names in shard-first-seen order
+}
+
+// Store is the drift log. It is safe for concurrent use: appends from
+// different devices land on different shards and proceed in parallel.
+type Store struct {
+	seq    atomic.Int64 // next global sequence number
+	shards [numShards]shard
+
+	// attrMu guards the store-wide attribute registry (first-seen order
+	// across all shards).
+	attrMu    sync.RWMutex
+	attrSeen  map[string]bool
+	attrOrder []string
 }
 
 // NewStore returns an empty drift log.
 func NewStore() *Store {
-	return &Store{cols: map[string]*column{}}
+	s := &Store{attrSeen: map[string]bool{}}
+	for i := range s.shards {
+		s.shards[i].cols = map[string]*column{}
+	}
+	return s
+}
+
+// shardFor picks the shard for an entry: by device-attribute hash when
+// present (so one device's rows stay together), round-robin by sequence
+// otherwise.
+func shardFor(e Entry, seq int64) int {
+	if dev, ok := e.Attrs[AttrDevice]; ok {
+		return int(hashString(dev) & shardMask)
+	}
+	return int(seq & shardMask)
+}
+
+// hashString is FNV-1a.
+func hashString(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(s) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
+}
+
+// registerAttrs records attribute names in the store-wide registry.
+func (s *Store) registerAttrs(attrs map[string]string) {
+	missing := false
+	s.attrMu.RLock()
+	for name := range attrs {
+		if !s.attrSeen[name] {
+			missing = true
+			break
+		}
+	}
+	s.attrMu.RUnlock()
+	if !missing {
+		return
+	}
+	// Collect and sort the new names so concurrent first appearances
+	// register in a deterministic relative order.
+	var fresh []string
+	s.attrMu.Lock()
+	for name := range attrs {
+		if !s.attrSeen[name] {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		s.attrSeen[name] = true
+		s.attrOrder = append(s.attrOrder, name)
+	}
+	s.attrMu.Unlock()
 }
 
 // Append ingests one entry.
 func (s *Store) Append(e Entry) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.appendLocked(e)
+	s.registerAttrs(e.Attrs)
+	seq := s.seq.Add(1) - 1
+	sh := &s.shards[shardFor(e, seq)]
+	sh.mu.Lock()
+	sh.appendLocked(seq, e)
+	sh.mu.Unlock()
 }
 
-// AppendBatch ingests entries under a single lock acquisition.
+// AppendBatch ingests entries with one lock acquisition per touched
+// shard, preserving the slice order in the store's canonical (sequence)
+// order.
 func (s *Store) AppendBatch(entries []Entry) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if len(entries) == 0 {
+		return
+	}
 	for _, e := range entries {
-		s.appendLocked(e)
+		s.registerAttrs(e.Attrs)
+	}
+	base := s.seq.Add(int64(len(entries))) - int64(len(entries))
+	type job struct {
+		seq int64
+		e   Entry
+	}
+	var jobs [numShards][]job
+	for i, e := range entries {
+		seq := base + int64(i)
+		si := shardFor(e, seq)
+		jobs[si] = append(jobs[si], job{seq, e})
+	}
+	for si := range jobs {
+		if len(jobs[si]) == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		for _, j := range jobs[si] {
+			sh.appendLocked(j.seq, j.e)
+		}
+		sh.mu.Unlock()
 	}
 }
 
-func (s *Store) appendLocked(e Entry) {
-	row := len(s.times)
-	s.times = append(s.times, e.Time.UnixNano())
-	s.drift = append(s.drift, e.Drift)
-	s.samples = append(s.samples, e.SampleID)
+func (sh *shard) appendLocked(seq int64, e Entry) {
+	row := len(sh.times)
+	sh.seqs = append(sh.seqs, seq)
+	sh.times = append(sh.times, e.Time.UnixNano())
+	sh.drift = append(sh.drift, e.Drift)
+	sh.samples = append(sh.samples, e.SampleID)
 	for name, val := range e.Attrs {
-		col, ok := s.cols[name]
+		col, ok := sh.cols[name]
 		if !ok {
 			col = newColumn(row)
-			s.cols[name] = col
-			s.order = append(s.order, name)
+			sh.cols[name] = col
+			sh.order = append(sh.order, name)
 		}
 		col.ids = append(col.ids, col.intern(val))
 	}
 	// Backfill missing attributes for this row.
-	for _, name := range s.order {
-		col := s.cols[name]
+	for _, name := range sh.order {
+		col := sh.cols[name]
 		if len(col.ids) == row {
 			col.ids = append(col.ids, 0)
 		}
@@ -126,30 +240,65 @@ func (s *Store) appendLocked(e Entry) {
 
 // Len returns the number of rows.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.times)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.times)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Attributes returns the attribute names in first-seen order.
 func (s *Store) Attributes() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]string(nil), s.order...)
+	s.attrMu.RLock()
+	defer s.attrMu.RUnlock()
+	return append([]string(nil), s.attrOrder...)
 }
 
-// Entry reconstructs row i (for display and debugging).
+// rowRef locates one row for cross-shard ordering.
+type rowRef struct {
+	seq   int64
+	shard int
+	row   int
+}
+
+// orderedRows returns every current row sorted by global sequence.
+func (s *Store) orderedRows() []rowRef {
+	var refs []rowRef
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for r, seq := range sh.seqs {
+			refs = append(refs, rowRef{seq: seq, shard: i, row: r})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(refs, func(a, b int) bool { return refs[a].seq < refs[b].seq })
+	return refs
+}
+
+// Entry reconstructs the i-th row in canonical (ingest-sequence) order —
+// for display, debugging and persistence tests.
 func (s *Store) Entry(i int) Entry {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	refs := s.orderedRows()
+	ref := refs[i]
+	sh := &s.shards[ref.shard]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.entryLocked(ref.row)
+}
+
+func (sh *shard) entryLocked(i int) Entry {
 	e := Entry{
-		Time:     time.Unix(0, s.times[i]).UTC(),
-		Drift:    s.drift[i],
-		SampleID: s.samples[i],
+		Time:     time.Unix(0, sh.times[i]).UTC(),
+		Drift:    sh.drift[i],
+		SampleID: sh.samples[i],
 		Attrs:    map[string]string{},
 	}
-	for _, name := range s.order {
-		col := s.cols[name]
+	for _, name := range sh.order {
+		col := sh.cols[name]
 		if id := col.ids[i]; id != 0 {
 			e.Attrs[name] = col.dict[id]
 		}
@@ -163,22 +312,47 @@ type Cond struct {
 	Value string
 }
 
+// viewCol pins one shard column at snapshot time.
+type viewCol struct {
+	ids  []uint32
+	dict []string
+}
+
+// viewShard is the immutable snapshot of one shard: slice headers pinned
+// at creation, so scans touch no locks and concurrent appends (which only
+// write beyond the pinned lengths) never shift results mid-analysis.
+type viewShard struct {
+	offset  int // base index of this shard's rows in overlay slices
+	rows    int
+	seqs    []int64
+	times   []int64
+	drift   []bool
+	samples []int64
+	cols    map[string]viewCol
+}
+
 // View is a read-only window over the store: the rows whose timestamps
 // fall in [From, To). A zero From/To means unbounded on that side.
 //
-// A View pins the row count at creation time, so concurrent appends do
-// not shift results mid-analysis.
+// A View snapshots every shard at creation time; all subsequent reads are
+// lock-free and unaffected by concurrent appends. Overlay slices returned
+// by DriftOverlay are indexed by the view's own row numbering and must
+// only be passed back to the view that produced them.
 type View struct {
-	s        *Store
 	from, to int64
-	rows     int
+	attrs    map[string]bool // attribute registry pinned at creation
+	total    int
+	shards   [numShards]viewShard
 }
 
 // Window returns a view over [from, to). Zero times are unbounded.
 func (s *Store) Window(from, to time.Time) *View {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	v := &View{s: s, rows: len(s.times)}
+	v := &View{attrs: map[string]bool{}}
+	s.attrMu.RLock()
+	for _, name := range s.attrOrder {
+		v.attrs[name] = true
+	}
+	s.attrMu.RUnlock()
 	if !from.IsZero() {
 		v.from = from.UnixNano()
 	}
@@ -187,27 +361,75 @@ func (s *Store) Window(from, to time.Time) *View {
 	} else {
 		v.to = to.UnixNano()
 	}
+	offset := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		rows := len(sh.times)
+		vs := viewShard{
+			offset:  offset,
+			rows:    rows,
+			seqs:    sh.seqs[:rows],
+			times:   sh.times[:rows],
+			drift:   sh.drift[:rows],
+			samples: sh.samples[:rows],
+			cols:    make(map[string]viewCol, len(sh.cols)),
+		}
+		for name, col := range sh.cols {
+			vs.cols[name] = viewCol{ids: col.ids[:rows], dict: col.dict}
+		}
+		sh.mu.RUnlock()
+		v.shards[i] = vs
+		offset += rows
+	}
+	v.total = offset
 	return v
 }
 
 // All returns a view over every row currently in the store.
 func (s *Store) All() *View { return s.Window(time.Time{}, time.Time{}) }
 
-// inWindow reports whether row i falls inside the view.
-func (v *View) inWindow(i int) bool {
-	t := v.s.times[i]
+// parallelScanRows is the pinned-row count above which per-shard scans
+// fan out over the worker pool.
+const parallelScanRows = 2048
+
+// eachShard runs f(i) for every shard, in parallel when the view is large
+// enough (and the pool is wider than one worker). f writes only to
+// per-shard slots, so scheduling never affects results.
+func (v *View) eachShard(f func(i int)) {
+	if v.total < parallelScanRows || tensor.Workers() <= 1 {
+		for i := range v.shards {
+			f(i)
+		}
+		return
+	}
+	tensor.ParallelFor(numShards, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
+}
+
+// inWindow reports whether row i of the shard falls inside the view.
+func (vs *viewShard) inWindow(v *View, i int) bool {
+	t := vs.times[i]
 	return t >= v.from && t < v.to
 }
 
 // Len returns the number of rows inside the view.
 func (v *View) Len() int {
-	v.s.mu.RLock()
-	defer v.s.mu.RUnlock()
-	n := 0
-	for i := 0; i < v.rows; i++ {
-		if v.inWindow(i) {
-			n++
+	var counts [numShards]int
+	v.eachShard(func(si int) {
+		vs := &v.shards[si]
+		for i := 0; i < vs.rows; i++ {
+			if vs.inWindow(v, i) {
+				counts[si]++
+			}
 		}
+	})
+	n := 0
+	for _, c := range counts {
+		n += c
 	}
 	return n
 }
@@ -218,135 +440,206 @@ type CountResult struct {
 	Drift int // of those, rows flagged as drift
 }
 
-// Count aggregates rows matching every condition. overlay, if non-nil,
-// replaces the stored drift flags (indexed by absolute row number) — the
-// hook counterfactual analysis uses to "mark" entries as non-drift
-// without mutating the log.
-func (v *View) Count(conds []Cond, overlay []bool) (CountResult, error) {
-	v.s.mu.RLock()
-	defer v.s.mu.RUnlock()
+// colCond is one resolved equality predicate on a shard snapshot.
+type colCond struct {
+	ids []uint32
+	id  uint32
+}
 
-	type colCond struct {
-		ids []uint32
-		id  uint32
-	}
-	ccs := make([]colCond, 0, len(conds))
+// resolveConds maps conditions onto one shard's columns. match=false
+// means the predicate can never match in this shard (value or column
+// absent there). An attribute unknown to the whole store is an error,
+// preserving the unsharded store's contract.
+func (v *View) resolveConds(vs *viewShard, conds []Cond) (ccs []colCond, match bool, err error) {
+	ccs = make([]colCond, 0, len(conds))
 	for _, c := range conds {
-		col, ok := v.s.cols[c.Attr]
-		if !ok {
-			return CountResult{}, fmt.Errorf("driftlog: unknown attribute %q", c.Attr)
+		if !v.attrs[c.Attr] {
+			return nil, false, fmt.Errorf("driftlog: unknown attribute %q", c.Attr)
 		}
-		id, ok := col.idOf(c.Value)
+		col, ok := vs.cols[c.Attr]
 		if !ok {
-			// Value never seen: matches nothing.
-			return CountResult{}, nil
+			return nil, false, nil // column never appeared in this shard
+		}
+		id := uint32(0)
+		for i, val := range col.dict {
+			if val == c.Value && i != 0 {
+				id = uint32(i)
+				break
+			}
+		}
+		if id == 0 {
+			return nil, false, nil // value never seen in this shard
 		}
 		ccs = append(ccs, colCond{ids: col.ids, id: id})
 	}
-
-	var res CountResult
-rows:
-	for i := 0; i < v.rows; i++ {
-		if !v.inWindow(i) {
-			continue
-		}
-		for _, cc := range ccs {
-			if cc.ids[i] != cc.id {
-				continue rows
-			}
-		}
-		res.Total++
-		d := v.s.drift[i]
-		if overlay != nil {
-			d = overlay[i]
-		}
-		if d {
-			res.Drift++
-		}
-	}
-	return res, nil
+	return ccs, true, nil
 }
 
-// DriftOverlay copies the stored drift flags for all rows (absolute
-// indexing); counterfactual analysis mutates the copy.
+// Count aggregates rows matching every condition. overlay, if non-nil,
+// replaces the stored drift flags (indexed by the view's row numbering) —
+// the hook counterfactual analysis uses to "mark" entries as non-drift
+// without mutating the log.
+func (v *View) Count(conds []Cond, overlay []bool) (CountResult, error) {
+	var partial [numShards]CountResult
+	var errs [numShards]error
+	v.eachShard(func(si int) {
+		vs := &v.shards[si]
+		ccs, match, err := v.resolveConds(vs, conds)
+		if err != nil {
+			errs[si] = err
+			return
+		}
+		if !match {
+			return
+		}
+		var res CountResult
+	rows:
+		for i := 0; i < vs.rows; i++ {
+			if !vs.inWindow(v, i) {
+				continue
+			}
+			for _, cc := range ccs {
+				if cc.ids[i] != cc.id {
+					continue rows
+				}
+			}
+			res.Total++
+			d := vs.drift[i]
+			if overlay != nil {
+				d = overlay[vs.offset+i]
+			}
+			if d {
+				res.Drift++
+			}
+		}
+		partial[si] = res
+	})
+	var out CountResult
+	for si := range partial {
+		if errs[si] != nil {
+			return CountResult{}, errs[si]
+		}
+		out.Total += partial[si].Total
+		out.Drift += partial[si].Drift
+	}
+	return out, nil
+}
+
+// DriftOverlay copies the stored drift flags for all rows in the view's
+// row numbering; counterfactual analysis mutates the copy.
 func (v *View) DriftOverlay() []bool {
-	v.s.mu.RLock()
-	defer v.s.mu.RUnlock()
-	return append([]bool(nil), v.s.drift[:v.rows]...)
+	out := make([]bool, v.total)
+	for si := range v.shards {
+		vs := &v.shards[si]
+		copy(out[vs.offset:vs.offset+vs.rows], vs.drift)
+	}
+	return out
 }
 
 // ClearDrift sets overlay[i] = false for every in-window row matching the
 // conditions, returning how many flags were cleared.
 func (v *View) ClearDrift(conds []Cond, overlay []bool) (int, error) {
-	v.s.mu.RLock()
-	defer v.s.mu.RUnlock()
-
-	type colCond struct {
-		ids []uint32
-		id  uint32
-	}
-	ccs := make([]colCond, 0, len(conds))
-	for _, c := range conds {
-		col, ok := v.s.cols[c.Attr]
-		if !ok {
-			return 0, fmt.Errorf("driftlog: unknown attribute %q", c.Attr)
+	var cleared [numShards]int
+	var errs [numShards]error
+	v.eachShard(func(si int) {
+		vs := &v.shards[si]
+		ccs, match, err := v.resolveConds(vs, conds)
+		if err != nil {
+			errs[si] = err
+			return
 		}
-		id, ok := col.idOf(c.Value)
-		if !ok {
-			return 0, nil
+		if !match {
+			return
 		}
-		ccs = append(ccs, colCond{ids: col.ids, id: id})
-	}
-	cleared := 0
-rows:
-	for i := 0; i < v.rows; i++ {
-		if !v.inWindow(i) {
-			continue
-		}
-		for _, cc := range ccs {
-			if cc.ids[i] != cc.id {
-				continue rows
+	rows:
+		for i := 0; i < vs.rows; i++ {
+			if !vs.inWindow(v, i) {
+				continue
+			}
+			for _, cc := range ccs {
+				if cc.ids[i] != cc.id {
+					continue rows
+				}
+			}
+			if overlay[vs.offset+i] {
+				overlay[vs.offset+i] = false
+				cleared[si]++
 			}
 		}
-		if overlay[i] {
-			overlay[i] = false
-			cleared++
+	})
+	n := 0
+	for si := range cleared {
+		if errs[si] != nil {
+			return 0, errs[si]
 		}
+		n += cleared[si]
 	}
-	return cleared, nil
+	return n, nil
 }
 
 // AttrValueCounts returns, for each attribute, the per-value totals and
 // drift counts inside the view — the single-pass aggregation the first
-// apriori level needs (one "SQL GROUP BY" per attribute).
+// apriori level needs (one "SQL GROUP BY" per attribute). Shards
+// aggregate independently (in parallel on large views) and merge.
 func (v *View) AttrValueCounts(overlay []bool) map[string]map[string]CountResult {
-	v.s.mu.RLock()
-	defer v.s.mu.RUnlock()
-	out := make(map[string]map[string]CountResult, len(v.s.order))
-	for _, name := range v.s.order {
-		out[name] = map[string]CountResult{}
-	}
-	for i := 0; i < v.rows; i++ {
-		if !v.inWindow(i) {
-			continue
+	var partial [numShards]map[string]map[string]CountResult
+	v.eachShard(func(si int) {
+		vs := &v.shards[si]
+		out := map[string]map[string]CountResult{}
+		type namedCol struct {
+			name string
+			c    viewCol
 		}
-		d := v.s.drift[i]
-		if overlay != nil {
-			d = overlay[i]
+		cols := make([]namedCol, 0, len(vs.cols))
+		for name, c := range vs.cols {
+			cols = append(cols, namedCol{name, c})
 		}
-		for _, name := range v.s.order {
-			col := v.s.cols[name]
-			id := col.ids[i]
-			if id == 0 {
+		for i := 0; i < vs.rows; i++ {
+			if !vs.inWindow(v, i) {
 				continue
 			}
-			val := col.dict[id]
-			cr := out[name][val]
-			cr.Total++
-			if d {
-				cr.Drift++
+			d := vs.drift[i]
+			if overlay != nil {
+				d = overlay[vs.offset+i]
 			}
-			out[name][val] = cr
+			for _, nc := range cols {
+				id := nc.c.ids[i]
+				if id == 0 {
+					continue
+				}
+				byVal := out[nc.name]
+				if byVal == nil {
+					byVal = map[string]CountResult{}
+					out[nc.name] = byVal
+				}
+				val := nc.c.dict[id]
+				cr := byVal[val]
+				cr.Total++
+				if d {
+					cr.Drift++
+				}
+				byVal[val] = cr
+			}
+		}
+		partial[si] = out
+	})
+	out := make(map[string]map[string]CountResult, len(v.attrs))
+	for name := range v.attrs {
+		out[name] = map[string]CountResult{}
+	}
+	for _, p := range partial {
+		for name, byVal := range p {
+			dst := out[name]
+			if dst == nil {
+				dst = map[string]CountResult{}
+				out[name] = dst
+			}
+			for val, cr := range byVal {
+				acc := dst[val]
+				acc.Total += cr.Total
+				acc.Drift += cr.Drift
+				dst[val] = acc
+			}
 		}
 	}
 	return out
@@ -368,98 +661,119 @@ func (k PairKey) Conds() []Cond {
 // every two-attribute value combination present in the view (excluding
 // the listed attributes). This replaces the per-candidate scans of the
 // apriori level-2 join: with k attributes per row it costs O(rows·k²)
-// once instead of O(candidates·rows).
+// once instead of O(candidates·rows), and the per-shard scans run in
+// parallel on large views.
 func (v *View) PairCounts(overlay []bool, exclude map[string]bool) map[PairKey]CountResult {
-	v.s.mu.RLock()
-	defer v.s.mu.RUnlock()
-
-	// Collect the included columns once, in name order so pair keys are
-	// canonical.
-	type col struct {
-		name string
-		c    *column
-	}
-	var cols []col
-	for _, name := range v.s.order {
-		if exclude[name] {
-			continue
+	var partial [numShards]map[PairKey]CountResult
+	v.eachShard(func(si int) {
+		vs := &v.shards[si]
+		// Collect the included columns once, in name order so pair keys
+		// are canonical.
+		type namedCol struct {
+			name string
+			c    viewCol
 		}
-		cols = append(cols, col{name, v.s.cols[name]})
-	}
-	sort.Slice(cols, func(i, j int) bool { return cols[i].name < cols[j].name })
-
-	out := map[PairKey]CountResult{}
-	for i := 0; i < v.rows; i++ {
-		if !v.inWindow(i) {
-			continue
-		}
-		d := v.s.drift[i]
-		if overlay != nil {
-			d = overlay[i]
-		}
-		for a := 0; a < len(cols); a++ {
-			ida := cols[a].c.ids[i]
-			if ida == 0 {
+		var cols []namedCol
+		for name, c := range vs.cols {
+			if exclude[name] {
 				continue
 			}
-			for b := a + 1; b < len(cols); b++ {
-				idb := cols[b].c.ids[i]
-				if idb == 0 {
+			cols = append(cols, namedCol{name, c})
+		}
+		sort.Slice(cols, func(i, j int) bool { return cols[i].name < cols[j].name })
+
+		out := map[PairKey]CountResult{}
+		for i := 0; i < vs.rows; i++ {
+			if !vs.inWindow(v, i) {
+				continue
+			}
+			d := vs.drift[i]
+			if overlay != nil {
+				d = overlay[vs.offset+i]
+			}
+			for a := 0; a < len(cols); a++ {
+				ida := cols[a].c.ids[i]
+				if ida == 0 {
 					continue
 				}
-				k := PairKey{
-					AttrA: cols[a].name, ValA: cols[a].c.dict[ida],
-					AttrB: cols[b].name, ValB: cols[b].c.dict[idb],
+				for b := a + 1; b < len(cols); b++ {
+					idb := cols[b].c.ids[i]
+					if idb == 0 {
+						continue
+					}
+					k := PairKey{
+						AttrA: cols[a].name, ValA: cols[a].c.dict[ida],
+						AttrB: cols[b].name, ValB: cols[b].c.dict[idb],
+					}
+					cr := out[k]
+					cr.Total++
+					if d {
+						cr.Drift++
+					}
+					out[k] = cr
 				}
-				cr := out[k]
-				cr.Total++
-				if d {
-					cr.Drift++
-				}
-				out[k] = cr
 			}
+		}
+		partial[si] = out
+	})
+	out := map[PairKey]CountResult{}
+	for _, p := range partial {
+		for k, cr := range p {
+			acc := out[k]
+			acc.Total += cr.Total
+			acc.Drift += cr.Drift
+			out[k] = acc
 		}
 	}
 	return out
 }
 
 // SampleIDs returns the sample IDs (≥ 0 only) of in-window rows matching
-// the conditions — how adaptation gathers the uploaded images of a root
-// cause.
+// the conditions, in canonical (ingest-sequence) row order — how
+// adaptation gathers the uploaded images of a root cause.
 func (v *View) SampleIDs(conds []Cond) ([]int64, error) {
-	v.s.mu.RLock()
-	defer v.s.mu.RUnlock()
-
-	type colCond struct {
-		ids []uint32
-		id  uint32
+	type hit struct {
+		seq int64
+		id  int64
 	}
-	ccs := make([]colCond, 0, len(conds))
-	for _, c := range conds {
-		col, ok := v.s.cols[c.Attr]
-		if !ok {
-			return nil, fmt.Errorf("driftlog: unknown attribute %q", c.Attr)
+	var partial [numShards][]hit
+	var errs [numShards]error
+	v.eachShard(func(si int) {
+		vs := &v.shards[si]
+		ccs, match, err := v.resolveConds(vs, conds)
+		if err != nil {
+			errs[si] = err
+			return
 		}
-		id, ok := col.idOf(c.Value)
-		if !ok {
-			return nil, nil
+		if !match {
+			return
 		}
-		ccs = append(ccs, colCond{ids: col.ids, id: id})
-	}
-	var out []int64
-rows:
-	for i := 0; i < v.rows; i++ {
-		if !v.inWindow(i) {
-			continue
-		}
-		for _, cc := range ccs {
-			if cc.ids[i] != cc.id {
-				continue rows
+	rows:
+		for i := 0; i < vs.rows; i++ {
+			if !vs.inWindow(v, i) {
+				continue
+			}
+			for _, cc := range ccs {
+				if cc.ids[i] != cc.id {
+					continue rows
+				}
+			}
+			if vs.samples[i] >= 0 {
+				partial[si] = append(partial[si], hit{seq: vs.seqs[i], id: vs.samples[i]})
 			}
 		}
-		if v.s.samples[i] >= 0 {
-			out = append(out, v.s.samples[i])
+	})
+	var hits []hit
+	for si := range partial {
+		if errs[si] != nil {
+			return nil, errs[si]
 		}
+		hits = append(hits, partial[si]...)
+	}
+	sort.Slice(hits, func(a, b int) bool { return hits[a].seq < hits[b].seq })
+	var out []int64
+	for _, h := range hits {
+		out = append(out, h.id)
 	}
 	return out, nil
 }

@@ -6,13 +6,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 )
 
 // persistHeader guards against loading foreign files.
 const persistHeader = "nazar-driftlog-v1"
 
-// wireEntry is the on-disk representation of one row.
+// wireEntry is the on-disk representation of one row. The format predates
+// sharding and must not change with it: rows are written in canonical
+// (ingest-sequence) order, exactly as the unsharded store laid them out.
 type wireEntry struct {
 	TimeNanos int64
 	Drift     bool
@@ -20,44 +23,59 @@ type wireEntry struct {
 	Attrs     map[string]string
 }
 
-// WriteTo streams the full log to w (header + gob-encoded rows). It holds
-// the read lock for the duration; concurrent appends block until done.
+// WriteTo streams the full log to w (header + gob-encoded rows) in
+// canonical row order. Each shard is read-locked only while its rows are
+// collected; concurrent appends to other shards proceed.
 func (s *Store) WriteTo(w io.Writer) (int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	type orderedEntry struct {
+		seq int64
+		we  wireEntry
+	}
+	var rows []orderedEntry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for r := range sh.times {
+			we := wireEntry{
+				TimeNanos: sh.times[r],
+				Drift:     sh.drift[r],
+				SampleID:  sh.samples[r],
+				Attrs:     map[string]string{},
+			}
+			for _, name := range sh.order {
+				col := sh.cols[name]
+				if id := col.ids[r]; id != 0 {
+					we.Attrs[name] = col.dict[id]
+				}
+			}
+			rows = append(rows, orderedEntry{seq: sh.seqs[r], we: we})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].seq < rows[b].seq })
+
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintln(bw, persistHeader); err != nil {
 		return 0, err
 	}
 	enc := gob.NewEncoder(bw)
-	n := len(s.times)
-	if err := enc.Encode(n); err != nil {
+	if err := enc.Encode(len(rows)); err != nil {
 		return 0, fmt.Errorf("driftlog: encode count: %w", err)
 	}
-	for i := 0; i < n; i++ {
-		we := wireEntry{
-			TimeNanos: s.times[i],
-			Drift:     s.drift[i],
-			SampleID:  s.samples[i],
-			Attrs:     map[string]string{},
-		}
-		for _, name := range s.order {
-			col := s.cols[name]
-			if id := col.ids[i]; id != 0 {
-				we.Attrs[name] = col.dict[id]
-			}
-		}
-		if err := enc.Encode(we); err != nil {
+	for i := range rows {
+		if err := enc.Encode(rows[i].we); err != nil {
 			return 0, fmt.Errorf("driftlog: encode row %d: %w", i, err)
 		}
 	}
 	if err := bw.Flush(); err != nil {
 		return 0, err
 	}
-	return int64(n), nil
+	return int64(len(rows)), nil
 }
 
 // ReadFrom appends all rows from r (written by WriteTo) to the store.
+// Rows are ingested in batches so restoring a large log takes one lock
+// acquisition per shard per batch rather than per row.
 func (s *Store) ReadFrom(r io.Reader) (int64, error) {
 	br := bufio.NewReader(r)
 	header, err := br.ReadString('\n')
@@ -75,63 +93,81 @@ func (s *Store) ReadFrom(r io.Reader) (int64, error) {
 	if n < 0 {
 		return 0, fmt.Errorf("driftlog: corrupt file: negative row count %d", n)
 	}
+	const batchSize = 4096
+	batch := make([]Entry, 0, min(n, batchSize))
+	loaded := 0
 	for i := 0; i < n; i++ {
 		var we wireEntry
 		if err := dec.Decode(&we); err != nil {
-			return int64(i), fmt.Errorf("driftlog: decode row %d: %w", i, err)
+			s.AppendBatch(batch)
+			return int64(loaded + len(batch)), fmt.Errorf("driftlog: decode row %d: %w", i, err)
 		}
-		s.Append(Entry{
+		batch = append(batch, Entry{
 			Time:     time.Unix(0, we.TimeNanos).UTC(),
 			Drift:    we.Drift,
 			SampleID: we.SampleID,
 			Attrs:    we.Attrs,
 		})
+		if len(batch) == batchSize {
+			s.AppendBatch(batch)
+			loaded += len(batch)
+			batch = batch[:0]
+		}
 	}
+	s.AppendBatch(batch)
 	return int64(n), nil
 }
 
 // Compact drops every row with a timestamp before cutoff, returning how
-// many rows were removed. Dictionary encodings are rebuilt, so value IDs
-// for vanished attributes do not leak. Outstanding Views become invalid
-// (their pinned row counts no longer correspond); create views after
-// compaction.
+// many rows were removed. Dictionary encodings are rebuilt per shard, so
+// value IDs for vanished attributes do not leak. Outstanding Views keep
+// reading their pinned snapshots (memory-safe) but no longer reflect the
+// store; create views after compaction.
 func (s *Store) Compact(cutoff time.Time) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	limit := cutoff.UnixNano()
-	keep := make([]int, 0, len(s.times))
-	for i, t := range s.times {
-		if t >= limit {
-			keep = append(keep, i)
-		}
-	}
-	removed := len(s.times) - len(keep)
-	if removed == 0 {
-		return 0
-	}
-	newTimes := make([]int64, len(keep))
-	newDrift := make([]bool, len(keep))
-	newSamples := make([]int64, len(keep))
-	newCols := make(map[string]*column, len(s.cols))
-	for _, name := range s.order {
-		newCols[name] = newColumn(0)
-	}
-	for ni, oi := range keep {
-		newTimes[ni] = s.times[oi]
-		newDrift[ni] = s.drift[oi]
-		newSamples[ni] = s.samples[oi]
-		for _, name := range s.order {
-			old := s.cols[name]
-			nc := newCols[name]
-			if id := old.ids[oi]; id != 0 {
-				nc.ids = append(nc.ids, nc.intern(old.dict[id]))
-			} else {
-				nc.ids = append(nc.ids, 0)
+	removed := 0
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.Lock()
+		keep := make([]int, 0, len(sh.times))
+		for i, t := range sh.times {
+			if t >= limit {
+				keep = append(keep, i)
 			}
 		}
+		dropped := len(sh.times) - len(keep)
+		if dropped == 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		removed += dropped
+		newSeqs := make([]int64, len(keep))
+		newTimes := make([]int64, len(keep))
+		newDrift := make([]bool, len(keep))
+		newSamples := make([]int64, len(keep))
+		newCols := make(map[string]*column, len(sh.cols))
+		for _, name := range sh.order {
+			newCols[name] = newColumn(0)
+		}
+		for ni, oi := range keep {
+			newSeqs[ni] = sh.seqs[oi]
+			newTimes[ni] = sh.times[oi]
+			newDrift[ni] = sh.drift[oi]
+			newSamples[ni] = sh.samples[oi]
+			for _, name := range sh.order {
+				old := sh.cols[name]
+				nc := newCols[name]
+				if id := old.ids[oi]; id != 0 {
+					nc.ids = append(nc.ids, nc.intern(old.dict[id]))
+				} else {
+					nc.ids = append(nc.ids, 0)
+				}
+			}
+		}
+		sh.seqs, sh.times, sh.drift, sh.samples = newSeqs, newTimes, newDrift, newSamples
+		sh.cols = newCols
+		sh.mu.Unlock()
 	}
-	s.times, s.drift, s.samples = newTimes, newDrift, newSamples
-	s.cols = newCols
 	return removed
 }
 

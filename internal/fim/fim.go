@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"nazar/internal/driftlog"
+	"nazar/internal/tensor"
 )
 
 // Itemset is a set of attribute equality conditions, at most one per
@@ -231,9 +232,12 @@ func Mine(v *driftlog.View, overlay []bool, th Thresholds) ([]Result, error) {
 
 	// Levels 3..MaxItems: apriori join of frequent (k-1)-sets with
 	// per-candidate counting (candidate counts are small by level 3).
+	// Candidates are generated sequentially (cheap, deterministic) and
+	// counted in parallel into index-addressed slots, so the result is
+	// identical at any worker-pool width.
 	for k := 3; k <= th.MaxItems && len(level) > 1; k++ {
 		seen := map[string]bool{}
-		var next []counted
+		var cands []Itemset
 		for i := 0; i < len(level); i++ {
 			for j := i + 1; j < len(level); j++ {
 				cand, ok := join(level[i].set, level[j].set)
@@ -241,14 +245,24 @@ func Mine(v *driftlog.View, overlay []bool, th Thresholds) ([]Result, error) {
 					continue
 				}
 				seen[cand.Key()] = true
-				cr, err := v.Count(cand, overlay)
-				if err != nil {
-					return nil, err
-				}
-				m := ComputeMetrics(cr, totals.Total, totals.Drift)
-				if m.Occurrence >= th.MinOccurrence {
-					next = append(next, counted{cand, cr})
-				}
+				cands = append(cands, cand)
+			}
+		}
+		counts := make([]driftlog.CountResult, len(cands))
+		errs := make([]error, len(cands))
+		tensor.ParallelFor(len(cands), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				counts[i], errs[i] = v.Count(cands[i], overlay)
+			}
+		})
+		var next []counted
+		for i, cand := range cands {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			m := ComputeMetrics(counts[i], totals.Total, totals.Drift)
+			if m.Occurrence >= th.MinOccurrence {
+				next = append(next, counted{cand, counts[i]})
 			}
 		}
 		sortCounted(next)

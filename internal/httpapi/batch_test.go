@@ -1,0 +1,263 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nazar/internal/cloud"
+	"nazar/internal/driftlog"
+	"nazar/internal/nn"
+	"nazar/internal/tensor"
+	"nazar/internal/weather"
+)
+
+// lightEnv starts a server around an untrained model — enough for
+// ingest/validation tests that never run analysis.
+func lightEnv(t *testing.T) *Client {
+	t.Helper()
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 2, tensor.NewRand(7, 1))
+	svc := cloud.NewService(base, cloud.DefaultConfig())
+	srv := httptest.NewServer(NewServer(svc))
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL)
+}
+
+func batchEntries(n int, day time.Time) []driftlog.Entry {
+	entries := make([]driftlog.Entry, n)
+	for i := range entries {
+		entries[i] = driftlog.Entry{
+			Time:  day.Add(time.Duration(i) * time.Minute),
+			Drift: i%2 == 0,
+			Attrs: map[string]string{
+				driftlog.AttrWeather: "rain",
+				driftlog.AttrDevice:  fmt.Sprintf("dev_%d", i%4),
+			},
+		}
+	}
+	return entries
+}
+
+func TestIngestBatchRoundTrip(t *testing.T) {
+	c := lightEnv(t)
+	day := weather.Day(3)
+	entries := batchEntries(10, day)
+	samples := make([][]float64, 10)
+	for i := range samples {
+		if i%2 == 0 {
+			samples[i] = []float64{float64(i), 1, 2, 3, 4, 5, 6, 7}
+		}
+	}
+	n, err := c.IngestBatch(entries, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("accepted %d of 10", n)
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LogRows != 10 || st.Samples != 5 {
+		t.Fatalf("status after batch %+v", st)
+	}
+	// Sample-less batches are accepted too.
+	if _, err := c.IngestBatch(batchEntries(3, day), nil); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = c.Status()
+	if st.LogRows != 13 || st.Samples != 5 {
+		t.Fatalf("status after sample-less batch %+v", st)
+	}
+}
+
+// TestIngestBatchMatchesSequential checks the batch path records exactly
+// what per-entry ingest would: same row order, same sample links.
+func TestIngestBatchMatchesSequential(t *testing.T) {
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 2, tensor.NewRand(7, 1))
+	day := weather.Day(3)
+	entries := batchEntries(20, day)
+	samples := make([][]float64, 20)
+	for i := range samples {
+		if i%3 == 0 {
+			samples[i] = []float64{float64(i)}
+		}
+	}
+
+	one := cloud.NewService(base, cloud.DefaultConfig())
+	for i := range entries {
+		e := entries[i]
+		one.Ingest(e, samples[i])
+	}
+	many := cloud.NewService(base, cloud.DefaultConfig())
+	if err := many.IngestBatch(append([]driftlog.Entry(nil), entries...), samples); err != nil {
+		t.Fatal(err)
+	}
+
+	if a, b := one.Log().Len(), many.Log().Len(); a != b {
+		t.Fatalf("row counts diverge: %d vs %d", a, b)
+	}
+	for i := 0; i < one.Log().Len(); i++ {
+		a, b := one.Log().Entry(i), many.Log().Entry(i)
+		if a.SampleID != b.SampleID || a.Drift != b.Drift || !a.Time.Equal(b.Time) {
+			t.Fatalf("row %d diverges: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestIngestBatchValidation(t *testing.T) {
+	c := lightEnv(t)
+	day := weather.Day(3)
+	noAttrs := batchEntries(2, day)
+	noAttrs[1].Attrs = nil
+	cases := []struct {
+		name string
+		req  IngestBatchRequest
+	}{
+		{"empty", IngestBatchRequest{}},
+		{"sample count mismatch", IngestBatchRequest{
+			Entries: batchEntries(2, day),
+			Samples: [][]float64{{1}},
+		}},
+		{"entry without attrs", IngestBatchRequest{Entries: noAttrs}},
+		{"oversized batch", IngestBatchRequest{Entries: batchEntries(maxBatchEntries+1, day)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := c.post("/v1/ingest/batch", tc.req, nil)
+			if err == nil {
+				t.Fatal("expected rejection")
+			}
+			if !strings.Contains(err.Error(), "400") {
+				t.Fatalf("expected HTTP 400, got %v", err)
+			}
+		})
+	}
+}
+
+func TestBatcherSizeFlush(t *testing.T) {
+	c := lightEnv(t)
+	b := NewBatcher(c, BatcherConfig{MaxBatch: 4, FlushInterval: -1})
+	day := weather.Day(3)
+	for i, e := range batchEntries(10, day) {
+		if err := b.Add(e, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10 adds at MaxBatch 4: two size-triggered flushes, 2 left buffered.
+	if p := b.Pending(); p != 2 {
+		t.Fatalf("pending %d, want 2", p)
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LogRows != 8 {
+		t.Fatalf("server saw %d rows before explicit flush", st.LogRows)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = c.Status()
+	if st.LogRows != 10 || st.Samples != 10 {
+		t.Fatalf("status after flush %+v", st)
+	}
+	// Flushing an empty buffer is a no-op.
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatcherTimedFlush(t *testing.T) {
+	c := lightEnv(t)
+	b := NewBatcher(c, BatcherConfig{MaxBatch: 100, FlushInterval: 30 * time.Millisecond})
+	defer b.Close()
+	day := weather.Day(3)
+	for _, e := range batchEntries(3, day) {
+		if err := b.Add(e, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := c.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.LogRows == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed flush never shipped (rows=%d)", st.LogRows)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestBatcherClose(t *testing.T) {
+	c := lightEnv(t)
+	b := NewBatcher(c, BatcherConfig{MaxBatch: 100, FlushInterval: -1})
+	day := weather.Day(3)
+	for _, e := range batchEntries(5, day) {
+		if err := b.Add(e, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LogRows != 5 {
+		t.Fatalf("close did not flush: %d rows", st.LogRows)
+	}
+	// Adds after Close ship immediately rather than buffering forever.
+	if err := b.Add(batchEntries(1, day)[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = c.Status()
+	if st.LogRows != 6 {
+		t.Fatalf("post-close add lost: %d rows", st.LogRows)
+	}
+}
+
+func TestBatcherConcurrentAdds(t *testing.T) {
+	c := lightEnv(t)
+	b := NewBatcher(c, BatcherConfig{MaxBatch: 8, FlushInterval: -1})
+	day := weather.Day(3)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, e := range batchEntries(25, day) {
+				if err := b.Add(e, nil); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LogRows != 200 {
+		t.Fatalf("lost entries: %d of 200", st.LogRows)
+	}
+}

@@ -1,0 +1,144 @@
+package httpapi
+
+import (
+	"sync"
+	"time"
+
+	"nazar/internal/driftlog"
+)
+
+// BatcherConfig tunes client-side ingest batching.
+type BatcherConfig struct {
+	// MaxBatch flushes when this many entries are buffered (default 256,
+	// capped at the server's per-batch limit).
+	MaxBatch int
+	// FlushInterval flushes any buffered entries this long after the
+	// first one arrived (default 2s; ≤0 disables timed flushes, leaving
+	// only size-triggered and explicit ones).
+	FlushInterval time.Duration
+	// OnError, if set, receives flush failures; the failed batch is
+	// dropped (the drift log is best-effort telemetry, as in the paper).
+	OnError func(error)
+}
+
+// Batcher accumulates ingest reports client-side and ships them via
+// POST /v1/ingest/batch, so a device making many predictions per second
+// pays one HTTP round-trip per batch instead of per entry. Safe for
+// concurrent use.
+type Batcher struct {
+	client *Client
+	cfg    BatcherConfig
+
+	mu      sync.Mutex
+	entries []driftlog.Entry
+	samples [][]float64
+	// anySample tracks whether the current buffer carries any sample, so
+	// all-nil sample batches ship without the samples array.
+	anySample bool
+	timer     *time.Timer
+	closed    bool
+
+	// flushWG tracks in-flight timed flushes so Close can wait for them.
+	flushWG sync.WaitGroup
+}
+
+// NewBatcher wraps the client with an auto-flushing ingest buffer.
+func NewBatcher(client *Client, cfg BatcherConfig) *Batcher {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.MaxBatch > maxBatchEntries {
+		cfg.MaxBatch = maxBatchEntries
+	}
+	if cfg.FlushInterval == 0 {
+		cfg.FlushInterval = 2 * time.Second
+	}
+	return &Batcher{client: client, cfg: cfg}
+}
+
+// Add buffers one report, flushing if the buffer reached MaxBatch.
+func (b *Batcher) Add(entry driftlog.Entry, sample []float64) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return b.ship([]driftlog.Entry{entry}, [][]float64{sample}, sample != nil)
+	}
+	b.entries = append(b.entries, entry)
+	b.samples = append(b.samples, sample)
+	if sample != nil {
+		b.anySample = true
+	}
+	if len(b.entries) >= b.cfg.MaxBatch {
+		entries, samples, anySample := b.takeLocked()
+		b.mu.Unlock()
+		return b.ship(entries, samples, anySample)
+	}
+	if b.timer == nil && b.cfg.FlushInterval > 0 {
+		b.timer = time.AfterFunc(b.cfg.FlushInterval, b.timedFlush)
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// Flush synchronously ships any buffered entries.
+func (b *Batcher) Flush() error {
+	b.mu.Lock()
+	entries, samples, anySample := b.takeLocked()
+	b.mu.Unlock()
+	return b.ship(entries, samples, anySample)
+}
+
+// Close flushes remaining entries and stops the flush timer. Subsequent
+// Adds ship immediately (unbatched).
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	b.closed = true
+	entries, samples, anySample := b.takeLocked()
+	b.mu.Unlock()
+	err := b.ship(entries, samples, anySample)
+	b.flushWG.Wait()
+	return err
+}
+
+// Pending returns the number of buffered entries.
+func (b *Batcher) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}
+
+// takeLocked detaches the current buffer (caller holds b.mu) and stops
+// the pending timer.
+func (b *Batcher) takeLocked() ([]driftlog.Entry, [][]float64, bool) {
+	entries, samples, anySample := b.entries, b.samples, b.anySample
+	b.entries, b.samples, b.anySample = nil, nil, false
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return entries, samples, anySample
+}
+
+// ship posts a detached buffer (no lock held).
+func (b *Batcher) ship(entries []driftlog.Entry, samples [][]float64, anySample bool) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	if !anySample {
+		samples = nil
+	}
+	_, err := b.client.IngestBatch(entries, samples)
+	return err
+}
+
+// timedFlush runs on the timer goroutine; errors go to OnError.
+func (b *Batcher) timedFlush() {
+	b.flushWG.Add(1)
+	defer b.flushWG.Done()
+	b.mu.Lock()
+	entries, samples, anySample := b.takeLocked()
+	b.mu.Unlock()
+	if err := b.ship(entries, samples, anySample); err != nil && b.cfg.OnError != nil {
+		b.cfg.OnError(err)
+	}
+}

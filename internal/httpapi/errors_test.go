@@ -1,0 +1,118 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nazar/internal/cloud"
+	"nazar/internal/nn"
+	"nazar/internal/tensor"
+)
+
+// TestHandlerErrorPaths table-tests the failure modes of every endpoint:
+// malformed JSON, unknown fields, trailing garbage, wrong method,
+// domain validation, and bad query parameters.
+func TestHandlerErrorPaths(t *testing.T) {
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 2, tensor.NewRand(7, 1))
+	svc := cloud.NewService(base, cloud.DefaultConfig())
+	h := NewServer(svc)
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantSubstr string
+	}{
+		{"ingest malformed json", "POST", "/v1/ingest", `{"entry":`, 400, "decode"},
+		{"ingest unknown field", "POST", "/v1/ingest", `{"entry":{"time":"2020-01-01T00:00:00Z","attrs":{}},"bogus":1}`, 400, "bogus"},
+		{"ingest trailing data", "POST", "/v1/ingest", `{"entry":{"time":"2020-01-01T00:00:00Z","attrs":{}}}{"extra":true}`, 400, "trailing"},
+		{"ingest missing attrs", "POST", "/v1/ingest", `{"entry":{"time":"2020-01-01T00:00:00Z"}}`, 400, "attrs"},
+		{"ingest wrong method", "GET", "/v1/ingest", "", 405, ""},
+
+		{"batch malformed json", "POST", "/v1/ingest/batch", `[{]`, 400, "decode"},
+		{"batch unknown field", "POST", "/v1/ingest/batch", `{"rows":[]}`, 400, "rows"},
+		{"batch trailing data", "POST", "/v1/ingest/batch", `{"entries":[{"time":"2020-01-01T00:00:00Z","attrs":{}}]} trailing`, 400, "trailing"},
+		{"batch empty", "POST", "/v1/ingest/batch", `{"entries":[]}`, 400, "at least one"},
+		{"batch sample mismatch", "POST", "/v1/ingest/batch", `{"entries":[{"time":"2020-01-01T00:00:00Z","attrs":{}}],"samples":[[1],[2]]}`, 400, "match"},
+		{"batch entry missing attrs", "POST", "/v1/ingest/batch", `{"entries":[{"time":"2020-01-01T00:00:00Z"}]}`, 400, "attrs"},
+		{"batch wrong method", "GET", "/v1/ingest/batch", "", 405, ""},
+
+		{"analyze malformed json", "POST", "/v1/analyze", `{`, 400, "decode"},
+		{"analyze unknown field", "POST", "/v1/analyze", `{"window":"1h"}`, 400, "window"},
+		{"analyze trailing data", "POST", "/v1/analyze", `{} {}`, 400, "trailing"},
+		{"analyze wrong method", "GET", "/v1/analyze", "", 405, ""},
+
+		{"diagnose malformed json", "POST", "/v1/diagnose", `nope`, 400, "decode"},
+		{"diagnose unknown field", "POST", "/v1/diagnose", `{"mode":"full"}`, 400, "mode"},
+		{"diagnose wrong method", "GET", "/v1/diagnose", "", 405, ""},
+
+		{"adapt malformed json", "POST", "/v1/adapt", `{"causes":}`, 400, "decode"},
+		{"adapt unknown field", "POST", "/v1/adapt", `{"causes":[],"force":true}`, 400, "force"},
+		{"adapt no causes", "POST", "/v1/adapt", `{"causes":[]}`, 400, "at least one cause"},
+		{"adapt wrong method", "GET", "/v1/adapt", "", 405, ""},
+
+		{"versions bad since", "GET", "/v1/versions?since=yesterday", "", 400, "bad since"},
+		{"versions wrong method", "POST", "/v1/versions", "", 405, ""},
+		{"deltas bad since", "GET", "/v1/deltas?since=bogus", "", 400, "bad since"},
+		{"deltas wrong method", "POST", "/v1/deltas", "", 405, ""},
+		{"refbn wrong method", "POST", "/v1/refbn", "", 405, ""},
+		{"base wrong method", "POST", "/v1/base", "", 405, ""},
+		{"status wrong method", "POST", "/v1/status", "", 405, ""},
+		{"unknown route", "GET", "/v1/nothing", "", 404, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var req *http.Request
+			if tc.body != "" {
+				req = httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+				req.Header.Set("Content-Type", "application/json")
+			} else {
+				req = httptest.NewRequest(tc.method, tc.path, nil)
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("status %d, want %d (body %q)", rec.Code, tc.wantStatus, rec.Body.String())
+			}
+			if tc.wantSubstr != "" && !strings.Contains(rec.Body.String(), tc.wantSubstr) {
+				t.Fatalf("body %q missing %q", rec.Body.String(), tc.wantSubstr)
+			}
+		})
+	}
+}
+
+// TestDecodeJSONStrictness unit-tests the hardened decoder directly.
+func TestDecodeJSONStrictness(t *testing.T) {
+	type msg struct {
+		A int `json:"a"`
+	}
+	cases := []struct {
+		name  string
+		input string
+		ok    bool
+	}{
+		{"valid", `{"a":1}`, true},
+		{"valid with whitespace", "  {\"a\":1}\n\t ", true},
+		{"unknown field", `{"a":1,"b":2}`, false},
+		{"trailing value", `{"a":1}{"a":2}`, false},
+		{"trailing token", `{"a":1} x`, false},
+		{"empty", ``, false},
+		{"wrong type", `{"a":"one"}`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var m msg
+			err := decodeJSON(strings.NewReader(tc.input), &m)
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}

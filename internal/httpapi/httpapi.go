@@ -5,11 +5,12 @@
 //
 // Endpoints:
 //
-//	POST /v1/ingest    — report a drift-log entry (+ optional sample)
-//	POST /v1/analyze   — trigger one analysis/adaptation cycle
-//	GET  /v1/versions  — pull BN versions (?since=RFC3339)
-//	GET  /v1/base      — pull the full current base model snapshot
-//	GET  /v1/status    — service counters
+//	POST /v1/ingest        — report a drift-log entry (+ optional sample)
+//	POST /v1/ingest/batch  — report many entries in one round-trip
+//	POST /v1/analyze       — trigger one analysis/adaptation cycle
+//	GET  /v1/versions      — pull BN versions (?since=RFC3339)
+//	GET  /v1/base          — pull the full current base model snapshot
+//	GET  /v1/status        — service counters
 package httpapi
 
 import (
@@ -32,6 +33,19 @@ type IngestRequest struct {
 	Entry driftlog.Entry `json:"entry"`
 	// Sample is the optional uploaded input.
 	Sample []float64 `json:"sample,omitempty"`
+}
+
+// IngestBatchRequest is the body of POST /v1/ingest/batch: one round-trip
+// carrying many reports. Samples, when present, must be the same length
+// as Entries (nil rows mean "no sample for this entry").
+type IngestBatchRequest struct {
+	Entries []driftlog.Entry `json:"entries"`
+	Samples [][]float64      `json:"samples,omitempty"`
+}
+
+// IngestBatchResponse acknowledges a batch.
+type IngestBatchResponse struct {
+	Accepted int `json:"accepted"`
 }
 
 // AnalyzeRequest is the body of POST /v1/analyze. Zero times mean an
@@ -104,6 +118,7 @@ type Server struct {
 func NewServer(svc *cloud.Service) *Server {
 	s := &Server{svc: svc, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/ingest/batch", s.handleIngestBatch)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/diagnose", s.handleDiagnose)
 	s.mux.HandleFunc("POST /v1/adapt", s.handleAdapt)
@@ -119,8 +134,15 @@ func NewServer(svc *cloud.Service) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // maxBodyBytes bounds request bodies (an uploaded sample is a few KB; a
-// manual adapt request with many causes stays far below this).
-const maxBodyBytes = 4 << 20
+// manual adapt request with many causes stays far below this). Batch
+// ingests carry up to maxBatchEntries samples and get a larger cap.
+const (
+	maxBodyBytes      = 4 << 20
+	maxBatchBodyBytes = 64 << 20
+	// maxBatchEntries bounds one batch so a single request cannot pin
+	// unbounded memory server-side.
+	maxBatchEntries = 4096
+)
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
@@ -135,6 +157,38 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	s.svc.Ingest(req.Entry, req.Sample)
 	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
+	var req IngestBatchRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Entries) == 0 {
+		http.Error(w, "httpapi: batch requires at least one entry", http.StatusBadRequest)
+		return
+	}
+	if len(req.Entries) > maxBatchEntries {
+		http.Error(w, fmt.Sprintf("httpapi: batch exceeds %d entries", maxBatchEntries), http.StatusBadRequest)
+		return
+	}
+	if req.Samples != nil && len(req.Samples) != len(req.Entries) {
+		http.Error(w, "httpapi: samples length must match entries", http.StatusBadRequest)
+		return
+	}
+	for i := range req.Entries {
+		if req.Entries[i].Attrs == nil {
+			http.Error(w, fmt.Sprintf("httpapi: entry %d requires attrs", i), http.StatusBadRequest)
+			return
+		}
+	}
+	if err := s.svc.IngestBatch(req.Entries, req.Samples); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, IngestBatchResponse{Accepted: len(req.Entries)})
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -287,6 +341,11 @@ func decodeJSON(r io.Reader, v any) error {
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("httpapi: decode: %w", err)
 	}
+	// Exactly one JSON value per body: trailing garbage is an error, not
+	// silently ignored.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return fmt.Errorf("httpapi: decode: trailing data after JSON value")
+	}
 	return nil
 }
 
@@ -311,6 +370,14 @@ func NewClient(baseURL string) *Client {
 // Ingest reports one entry (+ optional sample).
 func (c *Client) Ingest(entry driftlog.Entry, sample []float64) error {
 	return c.post("/v1/ingest", IngestRequest{Entry: entry, Sample: sample}, nil)
+}
+
+// IngestBatch reports many entries in one round-trip. samples may be nil,
+// or the same length as entries with nil rows for sample-less entries.
+func (c *Client) IngestBatch(entries []driftlog.Entry, samples [][]float64) (int, error) {
+	var resp IngestBatchResponse
+	err := c.post("/v1/ingest/batch", IngestBatchRequest{Entries: entries, Samples: samples}, &resp)
+	return resp.Accepted, err
 }
 
 // Diagnose runs analysis only (manual mode) and returns the full causes.

@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"nazar/internal/tensor"
+)
+
+const (
+	goldenBNPath  = "testdata/golden_bn_v1.gob"
+	goldenNetPath = "testdata/golden_net_v1.gob"
+)
+
+// goldenNet rebuilds the exact network the golden snapshots were captured
+// from (fixed architecture + seed, no training).
+func goldenNet() *Network {
+	return NewClassifier(ArchResNet18, 12, 4, tensor.NewRand(0x601D, 1))
+}
+
+// TestGoldenBNSnapshot pins the BN wire format: the fixture (written by
+// the seed implementation) must decode, re-encode byte-identically, apply
+// to a network of matching topology, and match a fresh capture of the
+// same seeded network. Set UPDATE_GOLDEN=1 to regenerate after a
+// deliberate format change.
+func TestGoldenBNSnapshot(t *testing.T) {
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		data, err := CaptureBN(goldenNet()).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenBNPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden BN snapshot regenerated")
+	}
+	want, err := os.ReadFile(goldenBNPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := DecodeBNSnapshot(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, want) {
+		t.Fatal("BN snapshot re-encode diverges from golden bytes")
+	}
+	fresh, err := CaptureBN(goldenNet()).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh, want) {
+		t.Fatal("freshly captured BN snapshot diverges from golden bytes")
+	}
+	if err := snap.ApplyTo(goldenNet()); err != nil {
+		t.Fatalf("golden BN snapshot no longer applies: %v", err)
+	}
+}
+
+// TestGoldenNetSnapshot pins the full-model wire format the same way.
+func TestGoldenNetSnapshot(t *testing.T) {
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		data, err := CaptureNet(goldenNet()).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenNetPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden net snapshot regenerated")
+	}
+	want, err := os.ReadFile(goldenNetPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := DecodeNetSnapshot(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := snap.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, want) {
+		t.Fatal("net snapshot re-encode diverges from golden bytes")
+	}
+	fresh, err := CaptureNet(goldenNet()).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh, want) {
+		t.Fatal("freshly captured net snapshot diverges from golden bytes")
+	}
+	net := goldenNet()
+	if err := snap.ApplyTo(net); err != nil {
+		t.Fatalf("golden net snapshot no longer applies: %v", err)
+	}
+	// Applying the snapshot must reproduce the captured network exactly.
+	x := tensor.New(3, 12)
+	x.RandNormal(tensor.NewRand(11, 2), 0, 1)
+	a, b := goldenNet().Logits(x), net.Logits(x)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("restored network diverges from original")
+		}
+	}
+}

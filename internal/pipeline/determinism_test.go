@@ -1,0 +1,49 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"nazar/internal/dataset"
+	"nazar/internal/nn"
+	"nazar/internal/tensor"
+)
+
+// TestRunDeterministicAcrossPoolWidths is the reproducibility contract of
+// the parallelized analysis path: the same seeded workload must produce
+// identical WindowStats whether the worker pool is forced to one worker
+// or running at full width. Wall-clock durations are the only allowed
+// difference.
+func TestRunDeterministicAcrossPoolWidths(t *testing.T) {
+	ds := dataset.NewCityscapes(dataset.CityscapesConfig{Total: 1200, Devices: 2, Seed: 42})
+	base := TrainBase(ds, nn.ArchResNet18, 8, 42)
+
+	runAt := func(workers int) *Result {
+		t.Helper()
+		tensor.SetMaxWorkers(workers)
+		defer tensor.SetMaxWorkers(0)
+		cfg := DefaultConfig(Nazar, 42)
+		cfg.Windows = 3
+		res, err := Run(ds, base, cfg)
+		if err != nil {
+			t.Fatalf("run at %d workers: %v", workers, err)
+		}
+		return res
+	}
+
+	seq := runAt(1)
+	par := runAt(8)
+
+	if len(seq.Windows) != len(par.Windows) {
+		t.Fatalf("window counts diverge: %d vs %d", len(seq.Windows), len(par.Windows))
+	}
+	for i := range seq.Windows {
+		a, b := seq.Windows[i], par.Windows[i]
+		// Durations are wall-clock measurements, not results.
+		a.RCADuration, b.RCADuration = 0, 0
+		a.AdaptDuration, b.AdaptDuration = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("window %d diverges across pool widths:\n  1 worker: %+v\n  8 workers: %+v", i, a, b)
+		}
+	}
+}

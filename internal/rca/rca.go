@@ -11,6 +11,7 @@ import (
 
 	"nazar/internal/driftlog"
 	"nazar/internal/fim"
+	"nazar/internal/tensor"
 )
 
 // Cause is one final root cause selected for adaptation.
@@ -156,12 +157,23 @@ func Counterfactual(v *driftlog.View, assocs []Association, th fim.Thresholds) (
 			}
 			continue
 		}
-		for _, sub := range a.Subsets {
-			reSub, err := fim.Rescore(v, sub.Items, overlay)
-			if err != nil {
-				return nil, fmt.Errorf("rca: rescoring %s: %w", sub.Items, err)
+		// The coarse cause lost significance: re-test its subsets. The
+		// overlay is read-only here (ClearDrift only ran for accepted
+		// coarse causes), so the rescores fan out over the worker pool;
+		// acceptance is decided afterwards in rank order, keeping the
+		// result deterministic at any pool width.
+		reSubs := make([]fim.Result, len(a.Subsets))
+		errs := make([]error, len(a.Subsets))
+		tensor.ParallelFor(len(a.Subsets), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				reSubs[i], errs[i] = fim.Rescore(v, a.Subsets[i].Items, overlay)
 			}
-			if th.Passes(reSub.Metrics) {
+		})
+		for i, sub := range a.Subsets {
+			if errs[i] != nil {
+				return nil, fmt.Errorf("rca: rescoring %s: %w", sub.Items, errs[i])
+			}
+			if th.Passes(reSubs[i].Metrics) {
 				causes = append(causes, Cause{Items: sub.Items, Metrics: sub.Metrics})
 			}
 		}

@@ -13,6 +13,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Matrix is a dense, row-major matrix of float64 values.
@@ -262,22 +263,50 @@ func MatMulABT(dst, a, b *Matrix) {
 	parallelRows(a.Rows, f)
 }
 
-// parallelRows splits [0,rows) across GOMAXPROCS goroutines and waits.
-func parallelRows(rows int, f func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > rows {
-		workers = rows
+// maxWorkers caps the fan-out of ParallelFor; 0 means GOMAXPROCS.
+var maxWorkers atomic.Int32
+
+// SetMaxWorkers bounds the worker pool used by ParallelFor (and every
+// parallel kernel and analysis stage built on it). n <= 0 restores the
+// default of runtime.GOMAXPROCS(0). Width 1 forces fully sequential
+// execution — the setting the determinism regression tests pin against.
+func SetMaxWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	maxWorkers.Store(int32(n))
+}
+
+// Workers returns the current worker-pool width.
+func Workers() int {
+	if n := int(maxWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelFor splits [0,n) into contiguous chunks, runs f on each chunk
+// from its own goroutine (at most Workers() of them) and waits. Results
+// must be written to disjoint, pre-indexed destinations so the outcome is
+// independent of scheduling — the pattern every parallel stage of the
+// cloud analysis path reuses.
+func ParallelFor(n int, f func(lo, hi int)) {
+	workers := Workers()
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		f(0, rows)
+		if n > 0 {
+			f(0, n)
+		}
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
-	for lo := 0; lo < rows; lo += chunk {
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
-		if hi > rows {
-			hi = rows
+		if hi > n {
+			hi = n
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
@@ -287,6 +316,9 @@ func parallelRows(rows int, f func(lo, hi int)) {
 	}
 	wg.Wait()
 }
+
+// parallelRows splits [0,rows) across the worker pool and waits.
+func parallelRows(rows int, f func(lo, hi int)) { ParallelFor(rows, f) }
 
 // AddRowVector adds the length-Cols vector v to every row of m.
 func (m *Matrix) AddRowVector(v []float64) {
