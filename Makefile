@@ -7,12 +7,23 @@ GO ?= go
 # mandatory for them (sharded stores, batched ingest, HTTP surface).
 RACE_PKGS = ./internal/cloud/... ./internal/driftlog/... ./internal/httpapi/...
 
-.PHONY: ci vet build test race fuzz bench clean
+.PHONY: ci vet staticcheck build test race fuzz bench clean
 
-ci: vet build test race
+ci: vet staticcheck build test race
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional locally (skipped when the binary is absent)
+# but mandatory in CI, where the workflow installs it. Metric-name
+# collisions are caught separately: the obs registry panics on duplicate
+# registration and the panic paths are under test.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -16,13 +16,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"time"
 
 	"nazar/internal/cloud"
 	"nazar/internal/httpapi"
 	"nazar/internal/imagesim"
 	"nazar/internal/nn"
+	"nazar/internal/obs"
 	"nazar/internal/tensor"
 )
 
@@ -59,7 +62,12 @@ func main() {
 
 	ccfg := cloud.DefaultConfig()
 	ccfg.LogRetention = *retain
-	svc := cloud.NewService(base, ccfg)
+	// One registry carries the whole pipeline: service counters, request
+	// metrics and (via GET /metrics) the Prometheus exposition. Runtime
+	// profiles are live under /debug/pprof/ on the same listener.
+	reg := obs.NewRegistry()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	svc := cloud.NewService(base, ccfg, cloud.WithObserver(reg))
 	if *logFile != "" {
 		if err := svc.LoadLog(*logFile); err != nil {
 			log.Printf("nazard: no drift log restored from %s: %v", *logFile, err)
@@ -84,9 +92,9 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.NewServer(svc),
+		Handler:           httpapi.NewServer(svc, httpapi.WithRegistry(reg), httpapi.WithLogger(logger)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("nazard listening on %s\n", *addr)
+	fmt.Printf("nazard listening on %s (metrics at /metrics, profiles at /debug/pprof/)\n", *addr)
 	log.Fatal(srv.ListenAndServe())
 }

@@ -7,6 +7,7 @@
 package adapt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -93,6 +94,13 @@ func (c Config) withDefaults() Config {
 // configured self-supervised objective over the unlabeled samples, and
 // returns the adapted clone. The base network is never mutated.
 func Adapt(base *nn.Network, samples *tensor.Matrix, cfg Config) (*nn.Network, error) {
+	return AdaptContext(context.Background(), base, samples, cfg)
+}
+
+// AdaptContext is Adapt with cooperative cancellation: the context is
+// checked before every optimizer step, so a cancelled window abandons the
+// (minutes-long, §5.8) adaptation stage after at most one batch.
+func AdaptContext(ctx context.Context, base *nn.Network, samples *tensor.Matrix, cfg Config) (*nn.Network, error) {
 	cfg = cfg.withDefaults()
 	if samples == nil || samples.Rows == 0 {
 		return nil, fmt.Errorf("adapt: no samples to adapt on")
@@ -123,6 +131,9 @@ func Adapt(base *nn.Network, samples *tensor.Matrix, cfg Config) (*nn.Network, e
 		cfg.Rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		batches := 0
 		for s := 0; s < n; s += cfg.BatchSize {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if cfg.MaxBatchesPerEpoch > 0 && batches >= cfg.MaxBatchesPerEpoch {
 				break
 			}
@@ -224,6 +235,14 @@ type SampleSource func(c rca.Cause) *tensor.Matrix
 // draw and the cause key, and results land in index-addressed slots, so
 // the output is identical at any pool width.
 func ByCause(base *nn.Network, causes []rca.Cause, samples SampleSource, minSamples int, cfg Config, now time.Time) ([]BNVersion, error) {
+	return ByCauseContext(context.Background(), base, causes, samples, minSamples, cfg, now)
+}
+
+// ByCauseContext is ByCause with cooperative cancellation: no new cause
+// run is launched after the context is cancelled, and in-flight runs
+// abort at their next optimizer step. A cancelled call returns ctx.Err()
+// and no versions.
+func ByCauseContext(ctx context.Context, base *nn.Network, causes []rca.Cause, samples SampleSource, minSamples int, cfg Config, now time.Time) ([]BNVersion, error) {
 	if minSamples < 2 {
 		minSamples = 2
 	}
@@ -239,6 +258,9 @@ func ByCause(base *nn.Network, causes []rca.Cause, samples SampleSource, minSamp
 	sem := make(chan struct{}, tensor.Workers())
 	var wg sync.WaitGroup
 	for i, c := range causes {
+		if ctx.Err() != nil {
+			break
+		}
 		sx := samples(c)
 		if sx == nil || sx.Rows < minSamples {
 			continue
@@ -250,7 +272,7 @@ func ByCause(base *nn.Network, causes []rca.Cause, samples SampleSource, minSamp
 			defer func() { <-sem }()
 			causeCfg := cfg
 			causeCfg.Rng = tensor.NewRand(baseSeed^hashKey(c.Key()), uint64(i)+1)
-			adapted, err := Adapt(base, sx, causeCfg)
+			adapted, err := AdaptContext(ctx, base, sx, causeCfg)
 			if err != nil {
 				slots[i] = slot{err: fmt.Errorf("adapt: cause %s: %w", c, err)}
 				return
@@ -267,6 +289,9 @@ func ByCause(base *nn.Network, causes []rca.Cause, samples SampleSource, minSamp
 		}(i, c, sx)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var versions []BNVersion
 	for _, s := range slots {
 		if s.err != nil {

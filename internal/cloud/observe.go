@@ -1,0 +1,170 @@
+package cloud
+
+import (
+	"strconv"
+	"time"
+
+	"nazar/internal/obs"
+	"nazar/internal/tensor"
+)
+
+// Metrics is the cloud service's instrument set, registered on one
+// obs.Registry (GET /metrics exposes it). All write paths are single
+// atomic ops; gauge functions are pulled at scrape time so the stores
+// never push.
+//
+// Families (all prefixed nazar_):
+//
+//	nazar_ingest_entries_total        drift-log entries ingested
+//	nazar_ingest_batches_total        batched ingest calls
+//	nazar_ingest_samples_total        uploaded input samples stored
+//	nazar_ingest_sample_bytes_total   uploaded sample payload bytes
+//	nazar_window_runs_total           RunWindow cycles started
+//	nazar_window_errors_total         cycles that failed (incl. cancelled)
+//	nazar_window_causes_total         root causes diagnosed
+//	nazar_window_versions_total{verdict="accepted"|"rejected"}
+//	nazar_window_stage_seconds{stage="rca"|"adapt"|"total"}  histograms
+//	nazar_window_log_rows             rows scanned per window (histogram)
+//	nazar_driftlog_rows               current drift-log rows
+//	nazar_driftlog_shard_rows{shard=} per-shard occupancy
+//	nazar_driftlog_attributes         distinct attribute names
+//	nazar_driftlog_compacted_rows     rows removed by retention
+//	nazar_driftlog_age_seconds{bound="oldest"|"newest"}
+//	nazar_samples_retained            samples currently held
+//	nazar_samples_added               samples ever stored
+//	nazar_samples_evicted             samples trimmed by the capacity cap
+//	nazar_samples_shard_rows{shard=}  per-shard occupancy
+//	nazar_versions_deployed           versions produced over the lifetime
+//	nazar_pool_parallel_calls         ParallelFor fan-outs
+//	nazar_pool_sequential_calls       inline (non-fanned) ParallelFor runs
+//	nazar_pool_goroutines_total       worker goroutines ever spawned
+//	nazar_pool_active_workers         worker goroutines running now
+type Metrics struct {
+	registry *obs.Registry
+
+	ingestEntries *obs.Counter
+	ingestBatches *obs.Counter
+	ingestSamples *obs.Counter
+	ingestBytes   *obs.Counter
+
+	windowRuns       *obs.Counter
+	windowErrors     *obs.Counter
+	causesFound      *obs.Counter
+	versionsAccepted *obs.Counter
+	versionsRejected *obs.Counter
+
+	stageRCA   *obs.Histogram
+	stageAdapt *obs.Histogram
+	stageTotal *obs.Histogram
+	logRows    *obs.Histogram
+}
+
+// logRowBuckets covers one entry to fleet-scale windows.
+var logRowBuckets = []float64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+// NewMetrics registers the cloud instrument set on reg. Registering the
+// same set twice on one registry panics (duplicate names) — one service
+// per registry.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		registry: reg,
+
+		ingestEntries: reg.Counter("nazar_ingest_entries_total", "Drift-log entries ingested."),
+		ingestBatches: reg.Counter("nazar_ingest_batches_total", "Batched ingest calls."),
+		ingestSamples: reg.Counter("nazar_ingest_samples_total", "Uploaded input samples stored."),
+		ingestBytes:   reg.Counter("nazar_ingest_sample_bytes_total", "Uploaded sample payload bytes."),
+
+		windowRuns:   reg.Counter("nazar_window_runs_total", "Analysis/adaptation cycles started."),
+		windowErrors: reg.Counter("nazar_window_errors_total", "Cycles that failed or were cancelled."),
+		causesFound:  reg.Counter("nazar_window_causes_total", "Root causes diagnosed."),
+		versionsAccepted: reg.Counter("nazar_window_versions_total",
+			"Adaptation outcomes per diagnosed cause (accepted = version produced).", obs.L("verdict", "accepted")),
+		versionsRejected: reg.Counter("nazar_window_versions_total",
+			"Adaptation outcomes per diagnosed cause (accepted = version produced).", obs.L("verdict", "rejected")),
+
+		stageRCA:   reg.Histogram("nazar_window_stage_seconds", "Per-stage window latency.", obs.DefBuckets, obs.L("stage", "rca")),
+		stageAdapt: reg.Histogram("nazar_window_stage_seconds", "Per-stage window latency.", obs.DefBuckets, obs.L("stage", "adapt")),
+		stageTotal: reg.Histogram("nazar_window_stage_seconds", "Per-stage window latency.", obs.DefBuckets, obs.L("stage", "total")),
+		logRows:    reg.Histogram("nazar_window_log_rows", "Drift-log rows scanned per window.", logRowBuckets),
+	}
+}
+
+// observeWindow records one completed cycle.
+func (m *Metrics) observeWindow(res WindowResult, total time.Duration) {
+	m.causesFound.Add(uint64(len(res.Causes)))
+	accepted := 0
+	for _, v := range res.Versions {
+		if !v.IsClean() {
+			accepted++
+		}
+	}
+	m.versionsAccepted.Add(uint64(accepted))
+	if rejected := len(res.Causes) - accepted; rejected > 0 {
+		m.versionsRejected.Add(uint64(rejected))
+	}
+	m.stageRCA.ObserveDuration(res.RCADuration)
+	m.stageAdapt.ObserveDuration(res.AdaptDuration)
+	m.stageTotal.ObserveDuration(total)
+	m.logRows.Observe(float64(res.LogRows))
+}
+
+// observeStores registers scrape-time gauges over the service's stores
+// and the shared worker pool. Called once from NewService.
+func (m *Metrics) observeStores(s *Service) {
+	reg := m.registry
+	log, samples := s.log, s.samples
+	reg.GaugeFunc("nazar_driftlog_rows", "Current drift-log rows.",
+		func() float64 { return float64(log.Len()) })
+	reg.GaugeFunc("nazar_driftlog_attributes", "Distinct attribute names seen.",
+		func() float64 { return float64(log.Stats().Attributes) })
+	reg.GaugeFunc("nazar_driftlog_compacted_rows", "Rows removed by retention compaction.",
+		func() float64 { return float64(log.Stats().CompactedRows) })
+	reg.GaugeFunc("nazar_driftlog_age_seconds", "Age of the oldest retained row.",
+		func() float64 { return rowAge(log.Stats().OldestTime, s.clock) }, obs.L("bound", "oldest"))
+	reg.GaugeFunc("nazar_driftlog_age_seconds", "Age of the newest retained row.",
+		func() float64 { return rowAge(log.Stats().NewestTime, s.clock) }, obs.L("bound", "newest"))
+
+	reg.GaugeFunc("nazar_samples_retained", "Samples currently held.",
+		func() float64 { return float64(samples.Stats().Retained) })
+	reg.GaugeFunc("nazar_samples_added", "Samples ever stored.",
+		func() float64 { return float64(samples.Stats().Added) })
+	reg.GaugeFunc("nazar_samples_evicted", "Samples trimmed by the capacity cap.",
+		func() float64 { return float64(samples.Stats().Evicted) })
+	reg.GaugeFunc("nazar_versions_deployed", "BN versions produced over the service lifetime.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.deployed))
+		})
+
+	for shard := range log.Stats().ShardRows {
+		shard := shard
+		reg.GaugeFunc("nazar_driftlog_shard_rows", "Per-shard drift-log occupancy.",
+			func() float64 { return float64(log.Stats().ShardRows[shard]) },
+			obs.L("shard", strconv.Itoa(shard)))
+	}
+	for shard := range samples.Stats().ShardRows {
+		shard := shard
+		reg.GaugeFunc("nazar_samples_shard_rows", "Per-shard sample-store occupancy.",
+			func() float64 { return float64(samples.Stats().ShardRows[shard]) },
+			obs.L("shard", strconv.Itoa(shard)))
+	}
+
+	reg.GaugeFunc("nazar_pool_parallel_calls", "ParallelFor invocations that fanned out.",
+		func() float64 { return float64(tensor.ReadPoolStats().ParallelCalls) })
+	reg.GaugeFunc("nazar_pool_sequential_calls", "ParallelFor invocations run inline.",
+		func() float64 { return float64(tensor.ReadPoolStats().SequentialCalls) })
+	reg.GaugeFunc("nazar_pool_goroutines_total", "Worker goroutines ever spawned.",
+		func() float64 { return float64(tensor.ReadPoolStats().Goroutines) })
+	reg.GaugeFunc("nazar_pool_active_workers", "Worker goroutines running now.",
+		func() float64 { return float64(tensor.ReadPoolStats().Active) })
+}
+
+// rowAge converts a row timestamp into an age (0 when the store is
+// empty).
+func rowAge(t time.Time, clock func() time.Time) float64 {
+	if t.IsZero() {
+		return 0
+	}
+	return clock().UTC().Sub(t).Seconds()
+}

@@ -1,0 +1,197 @@
+package cloud
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"nazar/internal/driftlog"
+	"nazar/internal/nn"
+	"nazar/internal/obs"
+	"nazar/internal/tensor"
+	"nazar/internal/weather"
+)
+
+// ingestDriftWorkload streams a fog-drifted workload without needing a
+// trained model: fog rows drift, clear rows do not, and every row
+// carries an uploaded sample so adaptation has material to work on.
+func ingestDriftWorkload(svc *Service, n int) {
+	day := weather.Day(10)
+	for i := 0; i < n; i++ {
+		cond, drift := "clear-day", false
+		if i%2 == 0 {
+			cond, drift = "fog", true
+		}
+		entry := driftlog.Entry{
+			Time:  day.Add(time.Duration(i) * time.Minute),
+			Drift: drift,
+			Attrs: map[string]string{
+				driftlog.AttrWeather:  cond,
+				driftlog.AttrLocation: []string{"Hamburg", "Zurich"}[i%2],
+				driftlog.AttrDevice:   "dev",
+			},
+		}
+		svc.Ingest(entry, []float64{float64(i), float64(i % 7), 1, 0, 0, 0, 0, 0.5})
+	}
+}
+
+// TestRunWindowCancellationMidWindow cancels the context between RCA and
+// adaptation (via the alerter hook, which fires exactly there) and
+// checks the window aborts with context.Canceled, deploys nothing, and
+// leaks no goroutines.
+func TestRunWindowCancellationMidWindow(t *testing.T) {
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 2, tensor.NewRand(11, 1))
+	cfg := DefaultConfig()
+	cfg.MinSamplesPerCause = 4
+	reg := obs.NewRegistry()
+	svc := NewService(base, cfg, WithObserver(reg))
+	ingestDriftWorkload(svc, 200)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Alerts are emitted after RCA discovers causes and before the
+	// adaptation fan-out launches — a deterministic mid-window hook.
+	alerted := false
+	svc.SetAlerter(AlertFunc(func(Alert) {
+		alerted = true
+		cancel()
+	}))
+
+	before := runtime.NumGoroutine()
+	res, err := svc.RunWindowContext(ctx, weather.Day(10), weather.Day(11), weather.Day(11))
+	if !alerted {
+		t.Fatal("no cause was diagnosed; the workload should produce a fog cause")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if len(res.Versions) != 0 {
+		t.Fatalf("cancelled window produced %d versions", len(res.Versions))
+	}
+	if got := svc.VersionsSince(time.Time{}); len(got) != 0 {
+		t.Fatalf("cancelled window deployed %d versions", len(got))
+	}
+
+	// Any worker-pool goroutines the aborted fan-out spawned must wind
+	// down; settle-loop instead of a fixed sleep.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines %d after cancelled window, started with %d", after, before)
+	}
+
+	// The failed cycle must be visible operationally.
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"nazar_window_runs_total 1", "nazar_window_errors_total 1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestRunWindowPreCancelled covers the entry gate: an already-cancelled
+// context never touches the stores.
+func TestRunWindowPreCancelled(t *testing.T) {
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 2, tensor.NewRand(12, 1))
+	svc := NewService(base, DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := svc.IngestContext(ctx, driftlog.Entry{Time: time.Now(), Attrs: map[string]string{}}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ingest err %v, want context.Canceled", err)
+	}
+	if svc.Log().Len() != 0 {
+		t.Fatal("cancelled ingest must not append")
+	}
+	if err := svc.IngestBatchContext(ctx, []driftlog.Entry{{Time: time.Now()}}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch err %v, want context.Canceled", err)
+	}
+}
+
+// TestWithClock pins stage timing to a fake clock: each clock call
+// advances one second, so both stage durations must come out exactly 1s.
+func TestWithClock(t *testing.T) {
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 2, tensor.NewRand(13, 1))
+	var ticks int
+	clock := func() time.Time {
+		ticks++
+		return time.Unix(int64(ticks), 0)
+	}
+	svc := NewService(base, DefaultConfig(), WithClock(clock))
+	res, err := svc.RunWindow(time.Time{}, time.Time{}, time.Unix(100, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RCADuration != time.Second {
+		t.Fatalf("RCA duration %v, want 1s from the fake clock", res.RCADuration)
+	}
+	if res.AdaptDuration != time.Second {
+		t.Fatalf("adapt duration %v, want 1s from the fake clock", res.AdaptDuration)
+	}
+	if ticks == 0 {
+		t.Fatal("fake clock was never consulted")
+	}
+}
+
+// TestWithSampleCap swaps in a bounded store.
+func TestWithSampleCap(t *testing.T) {
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 2, tensor.NewRand(14, 1))
+	svc := NewService(base, DefaultConfig(), WithSampleCap(4))
+	for i := 0; i < 100; i++ {
+		svc.Ingest(driftlog.Entry{Time: time.Now(), Attrs: map[string]string{}}, []float64{float64(i)})
+	}
+	if got := svc.Samples().Len(); got != 4 {
+		t.Fatalf("retained %d samples, want the cap of 4", got)
+	}
+	st := svc.Samples().Stats()
+	if st.Added != 100 {
+		t.Fatalf("added %d, want 100", st.Added)
+	}
+	if st.Evicted == 0 {
+		t.Fatal("eviction counter never moved")
+	}
+}
+
+// TestObserverCounters checks ingest counters and store gauges flow into
+// the exposition.
+func TestObserverCounters(t *testing.T) {
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 2, tensor.NewRand(15, 1))
+	reg := obs.NewRegistry()
+	svc := NewService(base, DefaultConfig(), WithObserver(reg))
+	if svc.Observer() == nil {
+		t.Fatal("Observer() nil after WithObserver")
+	}
+	svc.Ingest(driftlog.Entry{Time: time.Now(), Attrs: map[string]string{}}, []float64{1, 2, 3})
+	if err := svc.IngestBatch([]driftlog.Entry{
+		{Time: time.Now(), Attrs: map[string]string{}},
+		{Time: time.Now(), Attrs: map[string]string{}},
+	}, [][]float64{{4, 5}, nil}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{
+		"nazar_ingest_entries_total 3",
+		"nazar_ingest_batches_total 1",
+		"nazar_ingest_samples_total 2",
+		"nazar_ingest_sample_bytes_total 40",
+		"nazar_driftlog_rows 3",
+		"nazar_samples_retained 2",
+		"nazar_versions_deployed 0",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("exposition missing %q\n%s", want, got)
+		}
+	}
+}

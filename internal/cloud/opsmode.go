@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -89,9 +90,18 @@ func (s *Service) alertCauses(causes []rca.Cause, from, to, now time.Time) {
 // the ML-ops team inspects the causes (and receives alerts) without any
 // adaptation being triggered.
 func (s *Service) Diagnose(from, to, now time.Time) ([]rca.Cause, error) {
+	return s.DiagnoseContext(context.Background(), from, to, now)
+}
+
+// DiagnoseContext is Diagnose with cooperative cancellation (the context
+// threads through mining and counterfactual pruning).
+func (s *Service) DiagnoseContext(ctx context.Context, from, to, now time.Time) ([]rca.Cause, error) {
 	v := s.log.Window(from, to)
-	causes, err := rca.Analyze(v, rca.Config{Thresholds: s.cfg.Thresholds}, s.cfg.RCAMode)
+	causes, err := rca.AnalyzeContext(ctx, v, rca.Config{Thresholds: s.cfg.Thresholds}, s.cfg.RCAMode)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("cloud: diagnose: %w", err)
 	}
 	s.alertCauses(causes, from, to, now)
@@ -102,6 +112,13 @@ func (s *Service) Diagnose(from, to, now time.Time) ([]rca.Cause, error) {
 // second half). Returns the produced versions; the clean model is not
 // touched.
 func (s *Service) AdaptCauses(causes []rca.Cause, from, to, now time.Time) ([]adapt.BNVersion, error) {
+	return s.AdaptCausesContext(context.Background(), causes, from, to, now)
+}
+
+// AdaptCausesContext is AdaptCauses with cooperative cancellation: a
+// cancelled call aborts in-flight adaptation runs at their next
+// optimizer step and deploys nothing.
+func (s *Service) AdaptCausesContext(ctx context.Context, causes []rca.Cause, from, to, now time.Time) ([]adapt.BNVersion, error) {
 	v := s.log.Window(from, to)
 	source := func(c rca.Cause) *tensor.Matrix {
 		ids, err := v.SampleIDs(c.Items)
@@ -110,8 +127,11 @@ func (s *Service) AdaptCauses(causes []rca.Cause, from, to, now time.Time) ([]ad
 		}
 		return s.samples.Gather(ids)
 	}
-	versions, err := adapt.ByCause(s.Base(), causes, source, s.cfg.MinSamplesPerCause, s.cfg.AdaptCfg, now)
+	versions, err := adapt.ByCauseContext(ctx, s.Base(), causes, source, s.cfg.MinSamplesPerCause, s.cfg.AdaptCfg, now)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("cloud: manual adaptation: %w", err)
 	}
 	s.mu.Lock()

@@ -8,6 +8,7 @@
 package cloud
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"nazar/internal/driftlog"
 	"nazar/internal/fim"
 	"nazar/internal/nn"
+	"nazar/internal/obs"
 	"nazar/internal/rca"
 	"nazar/internal/tensor"
 )
@@ -46,6 +48,7 @@ type sampleShard struct {
 type SampleStore struct {
 	next     atomic.Int64
 	capacity int64 // 0 = unbounded
+	evicted  atomic.Int64
 	shards   [sampleShards]sampleShard
 }
 
@@ -95,6 +98,7 @@ func (s *SampleStore) Add(x []float64) int64 {
 			}
 			sh.vectors = append([][]float64(nil), sh.vectors[drop:]...)
 			sh.basePos += drop
+			s.evicted.Add(drop)
 		}
 	}
 	sh.mu.Unlock()
@@ -108,6 +112,36 @@ func (s *SampleStore) Len() int {
 		return int(s.capacity)
 	}
 	return int(n)
+}
+
+// SampleStoreStats is an operational snapshot of the sample store,
+// consumed by the observability layer at scrape time.
+type SampleStoreStats struct {
+	// Added counts every sample ever stored; Retained is the current
+	// (post-eviction) count; Evicted counts samples trimmed by the
+	// capacity bound.
+	Added    int64
+	Retained int
+	Evicted  int64
+	// ShardRows is the per-shard retained row count (occupancy balance).
+	ShardRows []int
+}
+
+// Stats returns the current operational snapshot.
+func (s *SampleStore) Stats() SampleStoreStats {
+	st := SampleStoreStats{
+		Added:     s.next.Load(),
+		Retained:  s.Len(),
+		Evicted:   s.evicted.Load(),
+		ShardRows: make([]int, sampleShards),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.ShardRows[i] = len(sh.vectors)
+		sh.mu.RUnlock()
+	}
+	return st
 }
 
 // Gather materializes the samples with the given IDs as a batch matrix
@@ -202,6 +236,13 @@ type metaShard struct {
 // Service is the cloud side of Nazar.
 type Service struct {
 	cfg Config
+	// clock supplies "now" for stage timing (WithClock substitutes a
+	// fake in tests).
+	clock func() time.Time
+	// metrics, when non-nil, receives every operational event
+	// (WithObserver). The nil default keeps the hot paths free of even
+	// the atomic adds.
+	metrics *Metrics
 
 	mu      sync.Mutex
 	log     *driftlog.Store
@@ -219,22 +260,71 @@ type Service struct {
 	refBN *nn.BNSnapshot
 }
 
+// Option customizes service construction (the DefaultConfig/Config pair
+// remains the compatibility shim for the paper-parameter knobs; options
+// cover operational wiring).
+type Option func(*Service)
+
+// WithClock substitutes the time source used for stage timing and
+// observability (defaults to time.Now).
+func WithClock(clock func() time.Time) Option {
+	return func(s *Service) {
+		if clock != nil {
+			s.clock = clock
+		}
+	}
+}
+
+// WithSampleCap bounds the sample store to the given capacity (the S3
+// lifecycle rule of the paper's deployment). capacity <= 0 keeps the
+// store unbounded.
+func WithSampleCap(capacity int) Option {
+	return func(s *Service) {
+		if capacity > 0 {
+			s.samples = NewBoundedSampleStore(capacity)
+		}
+	}
+}
+
+// WithObserver instruments the service on the given registry: ingest
+// counters, shard-occupancy gauges, per-stage window histograms and
+// adaptation accept/reject counters (see NewMetrics for the full list).
+func WithObserver(reg *obs.Registry) Option {
+	return func(s *Service) {
+		if reg != nil {
+			s.metrics = NewMetrics(reg)
+		}
+	}
+}
+
 // NewService creates the service around the initial trained model.
-func NewService(base *nn.Network, cfg Config) *Service {
+func NewService(base *nn.Network, cfg Config, opts ...Option) *Service {
 	if cfg.Thresholds.MaxItems == 0 {
 		cfg.Thresholds = fim.DefaultThresholds()
 	}
 	if cfg.MinSamplesPerCause <= 0 {
 		cfg.MinSamplesPerCause = 16
 	}
-	return &Service{
+	s := &Service{
 		cfg:     cfg,
+		clock:   time.Now,
 		log:     driftlog.NewStore(),
 		samples: NewSampleStore(),
 		base:    base,
 		refBN:   nn.CaptureBN(base),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.metrics != nil {
+		s.metrics.observeStores(s)
+	}
+	return s
 }
+
+// Observer returns the service's metrics hook (nil unless WithObserver
+// was used).
+func (s *Service) Observer() *Metrics { return s.metrics }
 
 // ReferenceBN returns the pinned BN state of the *initial* base model —
 // the stable reference both ends use for delta-compressed version
@@ -280,6 +370,16 @@ func (s *Service) allMeta() []sampleMeta {
 // Ingest records a drift-log entry, storing the sample (if any) and
 // linking it to the entry.
 func (s *Service) Ingest(e driftlog.Entry, sample []float64) {
+	_ = s.IngestContext(context.Background(), e, sample)
+}
+
+// IngestContext is the context-aware ingest. The write itself is
+// non-blocking (sharded, lock-striped), so the context only gates entry:
+// an already-cancelled request is rejected before touching the stores.
+func (s *Service) IngestContext(ctx context.Context, e driftlog.Entry, sample []float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if sample != nil {
 		id := s.samples.Add(sample)
 		e.SampleID = id
@@ -288,6 +388,14 @@ func (s *Service) Ingest(e driftlog.Entry, sample []float64) {
 		e.SampleID = -1
 	}
 	s.log.Append(e)
+	if m := s.metrics; m != nil {
+		m.ingestEntries.Inc()
+		if sample != nil {
+			m.ingestSamples.Inc()
+			m.ingestBytes.Add(uint64(8 * len(sample)))
+		}
+	}
+	return nil
 }
 
 // IngestBatch records many drift-log entries in one call, taking each
@@ -296,19 +404,38 @@ func (s *Service) Ingest(e driftlog.Entry, sample []float64) {
 // entry i carried no uploaded input. The entries slice is not retained
 // but its rows are modified in place (SampleID is rewritten).
 func (s *Service) IngestBatch(entries []driftlog.Entry, samples [][]float64) error {
+	return s.IngestBatchContext(context.Background(), entries, samples)
+}
+
+// IngestBatchContext is the context-aware batched ingest. Like
+// IngestContext, the context gates entry only: a batch is either rejected
+// up front or recorded atomically in full, never half-applied.
+func (s *Service) IngestBatchContext(ctx context.Context, entries []driftlog.Entry, samples [][]float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if samples != nil && len(samples) != len(entries) {
 		return fmt.Errorf("cloud: ingest batch: %d entries but %d samples", len(entries), len(samples))
 	}
+	var sampleCount, sampleBytes int
 	for i := range entries {
 		if samples != nil && samples[i] != nil {
 			id := s.samples.Add(samples[i])
 			entries[i].SampleID = id
 			s.recordMeta(sampleMeta{id: id, attrs: entries[i].Attrs, t: entries[i].Time})
+			sampleCount++
+			sampleBytes += 8 * len(samples[i])
 		} else if entries[i].SampleID != -1 {
 			entries[i].SampleID = -1
 		}
 	}
 	s.log.AppendBatch(entries)
+	if m := s.metrics; m != nil {
+		m.ingestEntries.Add(uint64(len(entries)))
+		m.ingestBatches.Inc()
+		m.ingestSamples.Add(uint64(sampleCount))
+		m.ingestBytes.Add(uint64(sampleBytes))
+	}
 	return nil
 }
 
@@ -329,23 +456,46 @@ type WindowResult struct {
 // re-adaptation), returning the versions to deploy. now stamps the
 // produced versions.
 func (s *Service) RunWindow(from, to, now time.Time) (WindowResult, error) {
+	return s.RunWindowContext(context.Background(), from, to, now)
+}
+
+// RunWindowContext is RunWindow with cooperative cancellation: the
+// context threads through mining, counterfactual pruning and every
+// adaptation run, so cancelling the request aborts the worker-pool
+// fan-out mid-window and returns ctx.Err() promptly. A cancelled cycle
+// deploys nothing and leaves the base model untouched.
+func (s *Service) RunWindowContext(ctx context.Context, from, to, now time.Time) (WindowResult, error) {
 	var res WindowResult
+	m := s.metrics
+	if m != nil {
+		m.windowRuns.Inc()
+	}
+	windowStart := s.clock()
+	fail := func(err error) (WindowResult, error) {
+		if m != nil {
+			m.windowErrors.Inc()
+		}
+		return res, err
+	}
 	if s.cfg.LogRetention > 0 {
 		s.log.Compact(now.Add(-s.cfg.LogRetention))
 	}
 	v := s.log.Window(from, to)
 	res.LogRows = v.Len()
 
-	rcaStart := time.Now()
-	causes, err := rca.Analyze(v, rca.Config{Thresholds: s.cfg.Thresholds}, s.cfg.RCAMode)
+	rcaStart := s.clock()
+	causes, err := rca.AnalyzeContext(ctx, v, rca.Config{Thresholds: s.cfg.Thresholds}, s.cfg.RCAMode)
 	if err != nil {
-		return res, fmt.Errorf("cloud: analysis: %w", err)
+		if ctx.Err() != nil {
+			return fail(err)
+		}
+		return fail(fmt.Errorf("cloud: analysis: %w", err))
 	}
-	res.RCADuration = time.Since(rcaStart)
+	res.RCADuration = s.clock().Sub(rcaStart)
 	res.Causes = causes
 	s.alertCauses(causes, from, to, now)
 
-	adaptStart := time.Now()
+	adaptStart := s.clock()
 	base := s.Base()
 
 	source := func(c rca.Cause) *tensor.Matrix {
@@ -355,16 +505,22 @@ func (s *Service) RunWindow(from, to, now time.Time) (WindowResult, error) {
 		}
 		return s.samples.Gather(ids)
 	}
-	versions, err := adapt.ByCause(base, causes, source, s.cfg.MinSamplesPerCause, s.cfg.AdaptCfg, now)
+	versions, err := adapt.ByCauseContext(ctx, base, causes, source, s.cfg.MinSamplesPerCause, s.cfg.AdaptCfg, now)
 	if err != nil {
-		return res, fmt.Errorf("cloud: by-cause adaptation: %w", err)
+		if ctx.Err() != nil {
+			return fail(err)
+		}
+		return fail(fmt.Errorf("cloud: by-cause adaptation: %w", err))
 	}
 
 	if s.cfg.AdaptClean {
 		if cleanX := s.cleanSamples(causes, from, to); cleanX != nil && cleanX.Rows >= s.cfg.MinSamplesPerCause {
-			adapted, err := adapt.Adapt(base, cleanX, s.cfg.AdaptCfg)
+			adapted, err := adapt.AdaptContext(ctx, base, cleanX, s.cfg.AdaptCfg)
 			if err != nil {
-				return res, fmt.Errorf("cloud: clean adaptation: %w", err)
+				if ctx.Err() != nil {
+					return fail(err)
+				}
+				return fail(fmt.Errorf("cloud: clean adaptation: %w", err))
 			}
 			s.mu.Lock()
 			s.base = adapted
@@ -378,11 +534,14 @@ func (s *Service) RunWindow(from, to, now time.Time) (WindowResult, error) {
 			})
 		}
 	}
-	res.AdaptDuration = time.Since(adaptStart)
+	res.AdaptDuration = s.clock().Sub(adaptStart)
 	res.Versions = versions
 	s.mu.Lock()
 	s.deployed = append(s.deployed, versions...)
 	s.mu.Unlock()
+	if m != nil {
+		m.observeWindow(res, s.clock().Sub(windowStart))
+	}
 	return res, nil
 }
 

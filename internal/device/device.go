@@ -34,7 +34,10 @@ type Config struct {
 	// TraceCapacity sizes the inference trace ring buffer (default
 	// 128).
 	TraceCapacity int
-	Rng           *rand.Rand
+	// Metrics, when non-nil, receives every inference (share one set
+	// across a fleet; see NewMetrics).
+	Metrics *Metrics
+	Rng     *rand.Rand
 }
 
 // Device is one simulated mobile device.
@@ -46,6 +49,7 @@ type Device struct {
 	Trace    *Trace
 	detector detect.Detector
 	rate     float64
+	metrics  *Metrics
 	rng      *rand.Rand
 }
 
@@ -65,6 +69,7 @@ func New(cfg Config, base *nn.Network) *Device {
 		Trace:    NewTrace(cfg.TraceCapacity),
 		detector: cfg.Detector,
 		rate:     cfg.SampleRate,
+		metrics:  cfg.Metrics,
 		rng:      cfg.Rng,
 	}
 }
@@ -104,6 +109,7 @@ func (d *Device) Infer(t time.Time, x []float64, attrs map[string]string) (Infer
 		inf.Sampled = true
 		sample = append([]float64(nil), x...)
 	}
+	d.metrics.observe(inf)
 	merged[driftlog.AttrModel] = modelAttr(versionID)
 	entry := driftlog.Entry{
 		Time:     t,

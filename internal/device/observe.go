@@ -1,0 +1,63 @@
+package device
+
+import "nazar/internal/obs"
+
+// mspBuckets spans the MSP confidence range; the 0.9 edge matches the
+// default drift threshold, so drifted inferences land in the lower
+// cumulative buckets.
+var mspBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99}
+
+// Metrics is the device-fleet instrument set. One set serves any number
+// of devices (fleet simulators share it): all writes are atomic.
+//
+//	nazar_device_inferences_total                 predictions served
+//	nazar_device_drift_total{verdict="drift"|"clean"}  detector verdicts
+//	nazar_device_sampled_total                    inputs uploaded
+//	nazar_device_adapted_total                    inferences served by an adapted version
+//	nazar_device_msp                              MSP confidence distribution (histogram)
+type Metrics struct {
+	inferences *obs.Counter
+	drifted    *obs.Counter
+	clean      *obs.Counter
+	sampled    *obs.Counter
+	adapted    *obs.Counter
+	msp        *obs.Histogram
+}
+
+// NewMetrics registers the device instrument set on reg (panics when the
+// family names are already taken — register one set per registry and
+// share it across devices).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		inferences: reg.Counter("nazar_device_inferences_total", "On-device predictions served."),
+		drifted: reg.Counter("nazar_device_drift_total",
+			"Drift-detector verdicts.", obs.L("verdict", "drift")),
+		clean: reg.Counter("nazar_device_drift_total",
+			"Drift-detector verdicts.", obs.L("verdict", "clean")),
+		sampled: reg.Counter("nazar_device_sampled_total", "Inputs uploaded for adaptation."),
+		adapted: reg.Counter("nazar_device_adapted_total",
+			"Inferences served by an adapted (non-clean) version."),
+		msp: reg.Histogram("nazar_device_msp",
+			"Maximum-softmax-probability distribution.", mspBuckets),
+	}
+}
+
+// observe records one inference (nil receiver = uninstrumented device).
+func (m *Metrics) observe(inf Inference) {
+	if m == nil {
+		return
+	}
+	m.inferences.Inc()
+	if inf.Drift {
+		m.drifted.Inc()
+	} else {
+		m.clean.Inc()
+	}
+	if inf.Sampled {
+		m.sampled.Inc()
+	}
+	if inf.VersionID != "" {
+		m.adapted.Inc()
+	}
+	m.msp.Observe(inf.MSP)
+}

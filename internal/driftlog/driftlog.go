@@ -104,6 +104,10 @@ type Store struct {
 	seq    atomic.Int64 // next global sequence number
 	shards [numShards]shard
 
+	// compacted counts rows removed by retention compaction (exposed via
+	// Stats for the observability layer).
+	compacted atomic.Int64
+
 	// attrMu guards the store-wide attribute registry (first-seen order
 	// across all shards).
 	attrMu    sync.RWMutex
@@ -248,6 +252,57 @@ func (s *Store) Len() int {
 		sh.mu.RUnlock()
 	}
 	return n
+}
+
+// Stats is an operational snapshot of the store, consumed by the
+// observability layer's gauge functions at scrape time.
+type Stats struct {
+	// Rows is the current row count; ShardRows is its per-shard
+	// decomposition (shard balance is the health signal for the
+	// device-hash placement).
+	Rows      int
+	ShardRows []int
+	// Attributes is the number of distinct attribute names ever seen.
+	Attributes int
+	// CompactedRows counts rows removed by retention compaction since
+	// the store was created.
+	CompactedRows int64
+	// OldestTime / NewestTime bound the retained rows' timestamps (zero
+	// when the store is empty) — the "snapshot age" of the log.
+	OldestTime, NewestTime time.Time
+}
+
+// Stats returns the current operational snapshot. It scans row
+// timestamps, which is linear in the store size but cheap relative to a
+// scrape interval (a few µs per 100k rows).
+func (s *Store) Stats() Stats {
+	st := Stats{ShardRows: make([]int, numShards), CompactedRows: s.compacted.Load()}
+	var oldest, newest int64
+	seen := false
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.ShardRows[i] = len(sh.times)
+		st.Rows += len(sh.times)
+		for _, t := range sh.times {
+			if !seen || t < oldest {
+				oldest = t
+			}
+			if !seen || t > newest {
+				newest = t
+			}
+			seen = true
+		}
+		sh.mu.RUnlock()
+	}
+	s.attrMu.RLock()
+	st.Attributes = len(s.attrOrder)
+	s.attrMu.RUnlock()
+	if st.Rows > 0 {
+		st.OldestTime = time.Unix(0, oldest).UTC()
+		st.NewestTime = time.Unix(0, newest).UTC()
+	}
+	return st
 }
 
 // Attributes returns the attribute names in first-seen order.

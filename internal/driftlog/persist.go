@@ -168,6 +168,7 @@ func (s *Store) Compact(cutoff time.Time) int {
 		sh.cols = newCols
 		sh.mu.Unlock()
 	}
+	s.compacted.Add(int64(removed))
 	return removed
 }
 

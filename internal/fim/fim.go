@@ -6,6 +6,7 @@
 package fim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -169,6 +170,18 @@ func ComputeMetrics(c driftlog.CountResult, totalRows, totalDrift int) Metrics {
 // ranked by risk ratio (descending), with occurrence, then smaller size,
 // then key as deterministic tie-breakers.
 func Mine(v *driftlog.View, overlay []bool, th Thresholds) ([]Result, error) {
+	return MineContext(context.Background(), v, overlay, th)
+}
+
+// MineContext is Mine with cooperative cancellation: the context is
+// checked at every apriori level boundary and between candidate-counting
+// chunks, so a cancelled analysis returns ctx.Err() without finishing the
+// sweep. For a context that is never cancelled the result is identical to
+// Mine at any worker-pool width.
+func MineContext(ctx context.Context, v *driftlog.View, overlay []bool, th Thresholds) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if th.MaxItems <= 0 {
 		th.MaxItems = 3
 	}
@@ -236,6 +249,9 @@ func Mine(v *driftlog.View, overlay []bool, th Thresholds) ([]Result, error) {
 	// counted in parallel into index-addressed slots, so the result is
 	// identical at any worker-pool width.
 	for k := 3; k <= th.MaxItems && len(level) > 1; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seen := map[string]bool{}
 		var cands []Itemset
 		for i := 0; i < len(level); i++ {
@@ -250,11 +266,13 @@ func Mine(v *driftlog.View, overlay []bool, th Thresholds) ([]Result, error) {
 		}
 		counts := make([]driftlog.CountResult, len(cands))
 		errs := make([]error, len(cands))
-		tensor.ParallelFor(len(cands), func(lo, hi int) {
+		if err := tensor.ParallelForCtx(ctx, len(cands), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				counts[i], errs[i] = v.Count(cands[i], overlay)
 			}
-		})
+		}); err != nil {
+			return nil, err
+		}
 		var next []counted
 		for i, cand := range cands {
 			if errs[i] != nil {

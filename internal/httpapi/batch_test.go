@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"fmt"
 	"net/http/httptest"
 	"strings"
@@ -128,7 +129,7 @@ func TestIngestBatchValidation(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := c.post("/v1/ingest/batch", tc.req, nil)
+			err := c.post(context.Background(), "/v1/ingest/batch", tc.req, nil)
 			if err == nil {
 				t.Fatal("expected rejection")
 			}

@@ -1,6 +1,9 @@
 package httpapi
 
 import (
+	"encoding/json"
+	"errors"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,13 +14,19 @@ import (
 	"nazar/internal/tensor"
 )
 
+// discardLogger silences request lines in tests.
+func discardLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
 // TestHandlerErrorPaths table-tests the failure modes of every endpoint:
 // malformed JSON, unknown fields, trailing garbage, wrong method,
-// domain validation, and bad query parameters.
+// domain validation, and bad query parameters. Every failure must carry
+// the structured envelope {"error":{"code":...,"message":...}} with the
+// right stable code — including the 404/405 responses the mux itself
+// generates.
 func TestHandlerErrorPaths(t *testing.T) {
 	base := nn.NewClassifier(nn.ArchResNet18, 8, 2, tensor.NewRand(7, 1))
 	svc := cloud.NewService(base, cloud.DefaultConfig())
-	h := NewServer(svc)
+	h := NewServer(svc, WithLogger(discardLogger()))
 
 	cases := []struct {
 		name       string
@@ -25,44 +34,46 @@ func TestHandlerErrorPaths(t *testing.T) {
 		path       string
 		body       string
 		wantStatus int
+		wantCode   string
 		wantSubstr string
 	}{
-		{"ingest malformed json", "POST", "/v1/ingest", `{"entry":`, 400, "decode"},
-		{"ingest unknown field", "POST", "/v1/ingest", `{"entry":{"time":"2020-01-01T00:00:00Z","attrs":{}},"bogus":1}`, 400, "bogus"},
-		{"ingest trailing data", "POST", "/v1/ingest", `{"entry":{"time":"2020-01-01T00:00:00Z","attrs":{}}}{"extra":true}`, 400, "trailing"},
-		{"ingest missing attrs", "POST", "/v1/ingest", `{"entry":{"time":"2020-01-01T00:00:00Z"}}`, 400, "attrs"},
-		{"ingest wrong method", "GET", "/v1/ingest", "", 405, ""},
+		{"ingest malformed json", "POST", "/v1/ingest", `{"entry":`, 400, CodeInvalidJSON, "decode"},
+		{"ingest unknown field", "POST", "/v1/ingest", `{"entry":{"time":"2020-01-01T00:00:00Z","attrs":{}},"bogus":1}`, 400, CodeInvalidJSON, "bogus"},
+		{"ingest trailing data", "POST", "/v1/ingest", `{"entry":{"time":"2020-01-01T00:00:00Z","attrs":{}}}{"extra":true}`, 400, CodeInvalidJSON, "trailing"},
+		{"ingest missing attrs", "POST", "/v1/ingest", `{"entry":{"time":"2020-01-01T00:00:00Z"}}`, 400, CodeInvalidRequest, "attrs"},
+		{"ingest wrong method", "GET", "/v1/ingest", "", 405, CodeMethodNotAllowed, ""},
 
-		{"batch malformed json", "POST", "/v1/ingest/batch", `[{]`, 400, "decode"},
-		{"batch unknown field", "POST", "/v1/ingest/batch", `{"rows":[]}`, 400, "rows"},
-		{"batch trailing data", "POST", "/v1/ingest/batch", `{"entries":[{"time":"2020-01-01T00:00:00Z","attrs":{}}]} trailing`, 400, "trailing"},
-		{"batch empty", "POST", "/v1/ingest/batch", `{"entries":[]}`, 400, "at least one"},
-		{"batch sample mismatch", "POST", "/v1/ingest/batch", `{"entries":[{"time":"2020-01-01T00:00:00Z","attrs":{}}],"samples":[[1],[2]]}`, 400, "match"},
-		{"batch entry missing attrs", "POST", "/v1/ingest/batch", `{"entries":[{"time":"2020-01-01T00:00:00Z"}]}`, 400, "attrs"},
-		{"batch wrong method", "GET", "/v1/ingest/batch", "", 405, ""},
+		{"batch malformed json", "POST", "/v1/ingest/batch", `[{]`, 400, CodeInvalidJSON, "decode"},
+		{"batch unknown field", "POST", "/v1/ingest/batch", `{"rows":[]}`, 400, CodeInvalidJSON, "rows"},
+		{"batch trailing data", "POST", "/v1/ingest/batch", `{"entries":[{"time":"2020-01-01T00:00:00Z","attrs":{}}]} trailing`, 400, CodeInvalidJSON, "trailing"},
+		{"batch empty", "POST", "/v1/ingest/batch", `{"entries":[]}`, 400, CodeInvalidRequest, "at least one"},
+		{"batch sample mismatch", "POST", "/v1/ingest/batch", `{"entries":[{"time":"2020-01-01T00:00:00Z","attrs":{}}],"samples":[[1],[2]]}`, 400, CodeInvalidRequest, "match"},
+		{"batch entry missing attrs", "POST", "/v1/ingest/batch", `{"entries":[{"time":"2020-01-01T00:00:00Z"}]}`, 400, CodeInvalidRequest, "attrs"},
+		{"batch wrong method", "GET", "/v1/ingest/batch", "", 405, CodeMethodNotAllowed, ""},
 
-		{"analyze malformed json", "POST", "/v1/analyze", `{`, 400, "decode"},
-		{"analyze unknown field", "POST", "/v1/analyze", `{"window":"1h"}`, 400, "window"},
-		{"analyze trailing data", "POST", "/v1/analyze", `{} {}`, 400, "trailing"},
-		{"analyze wrong method", "GET", "/v1/analyze", "", 405, ""},
+		{"analyze malformed json", "POST", "/v1/analyze", `{`, 400, CodeInvalidJSON, "decode"},
+		{"analyze unknown field", "POST", "/v1/analyze", `{"window":"1h"}`, 400, CodeInvalidJSON, "window"},
+		{"analyze trailing data", "POST", "/v1/analyze", `{} {}`, 400, CodeInvalidJSON, "trailing"},
+		{"analyze wrong method", "GET", "/v1/analyze", "", 405, CodeMethodNotAllowed, ""},
 
-		{"diagnose malformed json", "POST", "/v1/diagnose", `nope`, 400, "decode"},
-		{"diagnose unknown field", "POST", "/v1/diagnose", `{"mode":"full"}`, 400, "mode"},
-		{"diagnose wrong method", "GET", "/v1/diagnose", "", 405, ""},
+		{"diagnose malformed json", "POST", "/v1/diagnose", `nope`, 400, CodeInvalidJSON, "decode"},
+		{"diagnose unknown field", "POST", "/v1/diagnose", `{"mode":"full"}`, 400, CodeInvalidJSON, "mode"},
+		{"diagnose wrong method", "GET", "/v1/diagnose", "", 405, CodeMethodNotAllowed, ""},
 
-		{"adapt malformed json", "POST", "/v1/adapt", `{"causes":}`, 400, "decode"},
-		{"adapt unknown field", "POST", "/v1/adapt", `{"causes":[],"force":true}`, 400, "force"},
-		{"adapt no causes", "POST", "/v1/adapt", `{"causes":[]}`, 400, "at least one cause"},
-		{"adapt wrong method", "GET", "/v1/adapt", "", 405, ""},
+		{"adapt malformed json", "POST", "/v1/adapt", `{"causes":}`, 400, CodeInvalidJSON, "decode"},
+		{"adapt unknown field", "POST", "/v1/adapt", `{"causes":[],"force":true}`, 400, CodeInvalidJSON, "force"},
+		{"adapt no causes", "POST", "/v1/adapt", `{"causes":[]}`, 400, CodeInvalidRequest, "at least one cause"},
+		{"adapt wrong method", "GET", "/v1/adapt", "", 405, CodeMethodNotAllowed, ""},
 
-		{"versions bad since", "GET", "/v1/versions?since=yesterday", "", 400, "bad since"},
-		{"versions wrong method", "POST", "/v1/versions", "", 405, ""},
-		{"deltas bad since", "GET", "/v1/deltas?since=bogus", "", 400, "bad since"},
-		{"deltas wrong method", "POST", "/v1/deltas", "", 405, ""},
-		{"refbn wrong method", "POST", "/v1/refbn", "", 405, ""},
-		{"base wrong method", "POST", "/v1/base", "", 405, ""},
-		{"status wrong method", "POST", "/v1/status", "", 405, ""},
-		{"unknown route", "GET", "/v1/nothing", "", 404, ""},
+		{"versions bad since", "GET", "/v1/versions?since=yesterday", "", 400, CodeInvalidRequest, "bad since"},
+		{"versions wrong method", "POST", "/v1/versions", "", 405, CodeMethodNotAllowed, ""},
+		{"deltas bad since", "GET", "/v1/deltas?since=bogus", "", 400, CodeInvalidRequest, "bad since"},
+		{"deltas wrong method", "POST", "/v1/deltas", "", 405, CodeMethodNotAllowed, ""},
+		{"refbn wrong method", "POST", "/v1/refbn", "", 405, CodeMethodNotAllowed, ""},
+		{"base wrong method", "POST", "/v1/base", "", 405, CodeMethodNotAllowed, ""},
+		{"status wrong method", "POST", "/v1/status", "", 405, CodeMethodNotAllowed, ""},
+		{"metrics wrong method", "POST", "/metrics", "", 405, CodeMethodNotAllowed, ""},
+		{"unknown route", "GET", "/v1/nothing", "", 404, CodeNotFound, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -78,10 +89,64 @@ func TestHandlerErrorPaths(t *testing.T) {
 			if rec.Code != tc.wantStatus {
 				t.Fatalf("status %d, want %d (body %q)", rec.Code, tc.wantStatus, rec.Body.String())
 			}
-			if tc.wantSubstr != "" && !strings.Contains(rec.Body.String(), tc.wantSubstr) {
-				t.Fatalf("body %q missing %q", rec.Body.String(), tc.wantSubstr)
+			if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Fatalf("Content-Type %q, want application/json (body %q)", ct, rec.Body.String())
+			}
+			var env errorEnvelope
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error == nil {
+				t.Fatalf("body %q is not an error envelope (err %v)", rec.Body.String(), err)
+			}
+			if env.Error.Code != tc.wantCode {
+				t.Fatalf("code %q, want %q (message %q)", env.Error.Code, tc.wantCode, env.Error.Message)
+			}
+			if tc.wantSubstr != "" && !strings.Contains(env.Error.Message, tc.wantSubstr) {
+				t.Fatalf("message %q missing %q", env.Error.Message, tc.wantSubstr)
 			}
 		})
+	}
+}
+
+// TestClientDecodesAPIError proves the client surfaces server failures
+// as *APIError reachable through errors.As, with the stable code intact.
+func TestClientDecodesAPIError(t *testing.T) {
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 2, tensor.NewRand(7, 1))
+	svc := cloud.NewService(base, cloud.DefaultConfig())
+	srv := httptest.NewServer(NewServer(svc, WithLogger(discardLogger())))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	_, err := c.Adapt(AdaptRequest{})
+	if err == nil {
+		t.Fatal("expected rejection")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v (%T) is not an *APIError", err, err)
+	}
+	if apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", apiErr.Status)
+	}
+	if apiErr.Code != CodeInvalidRequest {
+		t.Fatalf("code %q, want %q", apiErr.Code, CodeInvalidRequest)
+	}
+	if !strings.Contains(apiErr.Message, "at least one cause") {
+		t.Fatalf("message %q missing cause hint", apiErr.Message)
+	}
+}
+
+// TestDecodeAPIErrorFallback covers non-envelope bodies (proxies, raw
+// http.Error output) degrading to CodeInternal.
+func TestDecodeAPIErrorFallback(t *testing.T) {
+	e := decodeAPIError(502, []byte("<html>bad gateway</html>"))
+	if e.Code != CodeInternal || e.Status != 502 {
+		t.Fatalf("got %+v", e)
+	}
+	if !strings.Contains(e.Message, "bad gateway") {
+		t.Fatalf("message %q lost the body", e.Message)
+	}
+	e = decodeAPIError(503, nil)
+	if e.Message == "" {
+		t.Fatal("empty body should fall back to the status text")
 	}
 }
 

@@ -8,23 +8,39 @@
 //	POST /v1/ingest        — report a drift-log entry (+ optional sample)
 //	POST /v1/ingest/batch  — report many entries in one round-trip
 //	POST /v1/analyze       — trigger one analysis/adaptation cycle
+//	POST /v1/diagnose      — analysis only (manual mode)
+//	POST /v1/adapt         — adapt operator-selected causes (manual mode)
 //	GET  /v1/versions      — pull BN versions (?since=RFC3339)
+//	GET  /v1/deltas        — pull delta-compressed versions
+//	GET  /v1/refbn         — pull the pinned delta-reference BN snapshot
 //	GET  /v1/base          — pull the full current base model snapshot
 //	GET  /v1/status        — service counters
+//	GET  /metrics          — Prometheus text exposition (internal/obs)
+//	GET  /debug/pprof/     — runtime profiles (net/http/pprof)
+//
+// Every non-2xx JSON response carries the structured error envelope
+// {"error":{"code":"...","message":"..."}} (see errors.go for the code
+// vocabulary); the Client surfaces it as *APIError. Handlers honor
+// request-context cancellation: an abandoned /v1/analyze aborts the
+// in-flight window (mining, pruning and adaptation fan-out included).
 package httpapi
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"nazar/internal/adapt"
 	"nazar/internal/cloud"
 	"nazar/internal/driftlog"
 	"nazar/internal/nn"
+	"nazar/internal/obs"
 	"nazar/internal/rca"
 )
 
@@ -108,15 +124,57 @@ type StatusResponse struct {
 	Versions int `json:"versions"`
 }
 
-// Server adapts a cloud.Service to HTTP.
+// statusClientClosedRequest reports a request abandoned by the caller
+// (nginx's non-standard but widely understood 499).
+const statusClientClosedRequest = 499
+
+// Server adapts a cloud.Service to HTTP. Every request flows through
+// the middleware chain (panic recovery → request log → metrics) before
+// reaching the mux.
 type Server struct {
-	svc *cloud.Service
-	mux *http.ServeMux
+	svc     *cloud.Service
+	mux     *http.ServeMux
+	handler http.Handler
+	reg     *obs.Registry
+	logger  *slog.Logger
+	metrics *HTTPMetrics
+}
+
+// ServerOption customizes the server.
+type ServerOption func(*Server)
+
+// WithRegistry serves /metrics from the given registry instead of a
+// private one — pass the same registry to cloud.WithObserver and
+// device.NewMetrics to expose the whole pipeline on one endpoint.
+func WithRegistry(reg *obs.Registry) ServerOption {
+	return func(s *Server) {
+		if reg != nil {
+			s.reg = reg
+		}
+	}
+}
+
+// WithLogger sets the structured logger for request lines and panic
+// reports (defaults to slog.Default).
+func WithLogger(logger *slog.Logger) ServerOption {
+	return func(s *Server) {
+		if logger != nil {
+			s.logger = logger
+		}
+	}
 }
 
 // NewServer wraps the service.
-func NewServer(svc *cloud.Service) *Server {
-	s := &Server{svc: svc, mux: http.NewServeMux()}
+func NewServer(svc *cloud.Service, opts ...ServerOption) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux(), logger: slog.Default()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.metrics = NewHTTPMetrics(s.reg)
+
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /v1/ingest/batch", s.handleIngestBatch)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
@@ -127,11 +185,27 @@ func NewServer(svc *cloud.Service) *Server {
 	s.mux.HandleFunc("GET /v1/refbn", s.handleRefBN)
 	s.mux.HandleFunc("GET /v1/base", s.handleBase)
 	s.mux.HandleFunc("GET /v1/status", s.handleStatus)
+
+	s.mux.Handle("GET /metrics", s.reg.Handler())
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
+	s.handler = Chain(s.mux,
+		Recover(s.logger),
+		Logging(s.logger),
+		s.metrics.Middleware(),
+	)
 	return s
 }
 
+// Registry returns the registry backing /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // maxBodyBytes bounds request bodies (an uploaded sample is a few KB; a
 // manual adapt request with many causes stays far below this). Batch
@@ -144,18 +218,32 @@ const (
 	maxBatchEntries = 4096
 )
 
+// writeServiceError maps a service-layer failure onto the envelope: a
+// cancelled request context becomes 499/canceled, everything else is a
+// 500/internal.
+func writeServiceError(w http.ResponseWriter, r *http.Request, err error) {
+	if r.Context().Err() != nil {
+		writeError(w, statusClientClosedRequest, CodeCanceled, err.Error())
+		return
+	}
+	writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req IngestRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
 		return
 	}
 	if req.Entry.Attrs == nil {
-		http.Error(w, "httpapi: entry requires attrs", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "httpapi: entry requires attrs")
 		return
 	}
-	s.svc.Ingest(req.Entry, req.Sample)
+	if err := s.svc.IngestContext(r.Context(), req.Entry, req.Sample); err != nil {
+		writeServiceError(w, r, err)
+		return
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -163,29 +251,35 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
 	var req IngestBatchRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
 		return
 	}
 	if len(req.Entries) == 0 {
-		http.Error(w, "httpapi: batch requires at least one entry", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "httpapi: batch requires at least one entry")
 		return
 	}
 	if len(req.Entries) > maxBatchEntries {
-		http.Error(w, fmt.Sprintf("httpapi: batch exceeds %d entries", maxBatchEntries), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+			fmt.Sprintf("httpapi: batch exceeds %d entries", maxBatchEntries))
 		return
 	}
 	if req.Samples != nil && len(req.Samples) != len(req.Entries) {
-		http.Error(w, "httpapi: samples length must match entries", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "httpapi: samples length must match entries")
 		return
 	}
 	for i := range req.Entries {
 		if req.Entries[i].Attrs == nil {
-			http.Error(w, fmt.Sprintf("httpapi: entry %d requires attrs", i), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+				fmt.Sprintf("httpapi: entry %d requires attrs", i))
 			return
 		}
 	}
-	if err := s.svc.IngestBatch(req.Entries, req.Samples); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if err := s.svc.IngestBatchContext(r.Context(), req.Entries, req.Samples); err != nil {
+		if r.Context().Err() != nil {
+			writeError(w, statusClientClosedRequest, CodeCanceled, err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
 		return
 	}
 	writeJSON(w, IngestBatchResponse{Accepted: len(req.Entries)})
@@ -195,16 +289,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req AnalyzeRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
 		return
 	}
 	now := req.Now
 	if now.IsZero() {
 		now = time.Now().UTC()
 	}
-	res, err := s.svc.RunWindow(req.From, req.To, now)
+	res, err := s.svc.RunWindowContext(r.Context(), req.From, req.To, now)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeServiceError(w, r, err)
 		return
 	}
 	resp := AnalyzeResponse{
@@ -225,16 +319,16 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req AnalyzeRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
 		return
 	}
 	now := req.Now
 	if now.IsZero() {
 		now = time.Now().UTC()
 	}
-	causes, err := s.svc.Diagnose(req.From, req.To, now)
+	causes, err := s.svc.DiagnoseContext(r.Context(), req.From, req.To, now)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeServiceError(w, r, err)
 		return
 	}
 	writeJSON(w, DiagnoseResponse{Causes: causes})
@@ -244,59 +338,63 @@ func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req AdaptRequest
 	if err := decodeJSON(r.Body, &req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
 		return
 	}
 	if len(req.Causes) == 0 {
-		http.Error(w, "httpapi: adapt requires at least one cause", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "httpapi: adapt requires at least one cause")
 		return
 	}
 	now := req.Now
 	if now.IsZero() {
 		now = time.Now().UTC()
 	}
-	versions, err := s.svc.AdaptCauses(req.Causes, req.From, req.To, now)
+	versions, err := s.svc.AdaptCausesContext(r.Context(), req.Causes, req.From, req.To, now)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeServiceError(w, r, err)
 		return
 	}
 	writeJSON(w, VersionsResponse{Versions: versions})
 }
 
+// sinceParam parses the optional ?since=RFC3339 query parameter.
+func sinceParam(w http.ResponseWriter, r *http.Request) (time.Time, bool) {
+	raw := r.URL.Query().Get("since")
+	if raw == "" {
+		return time.Time{}, true
+	}
+	t, err := time.Parse(time.RFC3339, raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Sprintf("httpapi: bad since: %v", err))
+		return time.Time{}, false
+	}
+	return t, true
+}
+
 func (s *Server) handleVersions(w http.ResponseWriter, r *http.Request) {
-	var since time.Time
-	if raw := r.URL.Query().Get("since"); raw != "" {
-		t, err := time.Parse(time.RFC3339, raw)
-		if err != nil {
-			http.Error(w, fmt.Sprintf("httpapi: bad since: %v", err), http.StatusBadRequest)
-			return
-		}
-		since = t
+	since, ok := sinceParam(w, r)
+	if !ok {
+		return
 	}
 	writeJSON(w, VersionsResponse{Versions: s.svc.VersionsSince(since)})
 }
 
 func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
-	var since time.Time
-	if raw := r.URL.Query().Get("since"); raw != "" {
-		t, err := time.Parse(time.RFC3339, raw)
-		if err != nil {
-			http.Error(w, fmt.Sprintf("httpapi: bad since: %v", err), http.StatusBadRequest)
-			return
-		}
-		since = t
+	since, ok := sinceParam(w, r)
+	if !ok {
+		return
 	}
 	ref := s.svc.ReferenceBN()
 	var resp DeltasResponse
 	for _, v := range s.svc.VersionsSince(since) {
 		delta, err := adapt.DiffBN(ref, v.Snapshot)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 			return
 		}
 		data, err := delta.Encode()
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 			return
 		}
 		resp.Versions = append(resp.Versions, DeltaVersion{
@@ -309,7 +407,7 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRefBN(w http.ResponseWriter, r *http.Request) {
 	data, err := s.svc.ReferenceBN().Encode()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -320,7 +418,7 @@ func (s *Server) handleBase(w http.ResponseWriter, r *http.Request) {
 	snap := nn.CaptureNet(s.svc.Base())
 	data, err := snap.Encode()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -352,11 +450,13 @@ func decodeJSON(r io.Reader, v any) error {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 	}
 }
 
-// Client is the device-side API client.
+// Client is the device-side API client. Every method has a Context
+// variant; the plain forms use context.Background(). Non-2xx responses
+// surface as *APIError (match with errors.As).
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
@@ -369,54 +469,74 @@ func NewClient(baseURL string) *Client {
 
 // Ingest reports one entry (+ optional sample).
 func (c *Client) Ingest(entry driftlog.Entry, sample []float64) error {
-	return c.post("/v1/ingest", IngestRequest{Entry: entry, Sample: sample}, nil)
+	return c.IngestContext(context.Background(), entry, sample)
+}
+
+// IngestContext is Ingest with request cancellation.
+func (c *Client) IngestContext(ctx context.Context, entry driftlog.Entry, sample []float64) error {
+	return c.post(ctx, "/v1/ingest", IngestRequest{Entry: entry, Sample: sample}, nil)
 }
 
 // IngestBatch reports many entries in one round-trip. samples may be nil,
 // or the same length as entries with nil rows for sample-less entries.
 func (c *Client) IngestBatch(entries []driftlog.Entry, samples [][]float64) (int, error) {
+	return c.IngestBatchContext(context.Background(), entries, samples)
+}
+
+// IngestBatchContext is IngestBatch with request cancellation.
+func (c *Client) IngestBatchContext(ctx context.Context, entries []driftlog.Entry, samples [][]float64) (int, error) {
 	var resp IngestBatchResponse
-	err := c.post("/v1/ingest/batch", IngestBatchRequest{Entries: entries, Samples: samples}, &resp)
+	err := c.post(ctx, "/v1/ingest/batch", IngestBatchRequest{Entries: entries, Samples: samples}, &resp)
 	return resp.Accepted, err
 }
 
 // Diagnose runs analysis only (manual mode) and returns the full causes.
 func (c *Client) Diagnose(req AnalyzeRequest) ([]rca.Cause, error) {
+	return c.DiagnoseContext(context.Background(), req)
+}
+
+// DiagnoseContext is Diagnose with request cancellation.
+func (c *Client) DiagnoseContext(ctx context.Context, req AnalyzeRequest) ([]rca.Cause, error) {
 	var resp DiagnoseResponse
-	err := c.post("/v1/diagnose", req, &resp)
+	err := c.post(ctx, "/v1/diagnose", req, &resp)
 	return resp.Causes, err
 }
 
 // Adapt requests adaptation of the selected causes (manual mode).
 func (c *Client) Adapt(req AdaptRequest) ([]adapt.BNVersion, error) {
+	return c.AdaptContext(context.Background(), req)
+}
+
+// AdaptContext is Adapt with request cancellation: cancelling aborts the
+// server-side adaptation fan-out, not just the HTTP wait.
+func (c *Client) AdaptContext(ctx context.Context, req AdaptRequest) ([]adapt.BNVersion, error) {
 	var resp VersionsResponse
-	err := c.post("/v1/adapt", req, &resp)
+	err := c.post(ctx, "/v1/adapt", req, &resp)
 	return resp.Versions, err
 }
 
 // Analyze triggers an analysis/adaptation cycle.
 func (c *Client) Analyze(req AnalyzeRequest) (AnalyzeResponse, error) {
+	return c.AnalyzeContext(context.Background(), req)
+}
+
+// AnalyzeContext is Analyze with request cancellation: cancelling aborts
+// the in-flight window server-side.
+func (c *Client) AnalyzeContext(ctx context.Context, req AnalyzeRequest) (AnalyzeResponse, error) {
 	var resp AnalyzeResponse
-	err := c.post("/v1/analyze", req, &resp)
+	err := c.post(ctx, "/v1/analyze", req, &resp)
 	return resp, err
 }
 
 // Versions pulls versions created at or after since.
 func (c *Client) Versions(since time.Time) ([]adapt.BNVersion, error) {
-	url := c.BaseURL + "/v1/versions"
-	if !since.IsZero() {
-		url += "?since=" + since.UTC().Format(time.RFC3339)
-	}
-	resp, err := c.HTTP.Get(url)
-	if err != nil {
-		return nil, fmt.Errorf("httpapi: versions: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("versions", resp)
-	}
+	return c.VersionsContext(context.Background(), since)
+}
+
+// VersionsContext is Versions with request cancellation.
+func (c *Client) VersionsContext(ctx context.Context, since time.Time) ([]adapt.BNVersion, error) {
 	var vr VersionsResponse
-	if err := decodeJSON(resp.Body, &vr); err != nil {
+	if err := c.getJSON(ctx, "/v1/versions"+sinceQuery(since), &vr); err != nil {
 		return nil, err
 	}
 	return vr.Versions, nil
@@ -424,17 +544,14 @@ func (c *Client) Versions(since time.Time) ([]adapt.BNVersion, error) {
 
 // RefBN downloads the pinned delta-reference BN snapshot.
 func (c *Client) RefBN() (*nn.BNSnapshot, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/v1/refbn")
+	return c.RefBNContext(context.Background())
+}
+
+// RefBNContext is RefBN with request cancellation.
+func (c *Client) RefBNContext(ctx context.Context) (*nn.BNSnapshot, error) {
+	data, err := c.getRaw(ctx, "/v1/refbn")
 	if err != nil {
-		return nil, fmt.Errorf("httpapi: refbn: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("refbn", resp)
-	}
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("httpapi: refbn body: %w", err)
+		return nil, err
 	}
 	return nn.DecodeBNSnapshot(data)
 }
@@ -442,20 +559,13 @@ func (c *Client) RefBN() (*nn.BNSnapshot, error) {
 // Deltas pulls delta-compressed versions created at or after since and
 // reconstructs them against the reference snapshot (checksum-verified).
 func (c *Client) Deltas(since time.Time, ref *nn.BNSnapshot) ([]adapt.BNVersion, error) {
-	url := c.BaseURL + "/v1/deltas"
-	if !since.IsZero() {
-		url += "?since=" + since.UTC().Format(time.RFC3339)
-	}
-	resp, err := c.HTTP.Get(url)
-	if err != nil {
-		return nil, fmt.Errorf("httpapi: deltas: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("deltas", resp)
-	}
+	return c.DeltasContext(context.Background(), since, ref)
+}
+
+// DeltasContext is Deltas with request cancellation.
+func (c *Client) DeltasContext(ctx context.Context, since time.Time, ref *nn.BNSnapshot) ([]adapt.BNVersion, error) {
 	var dr DeltasResponse
-	if err := decodeJSON(resp.Body, &dr); err != nil {
+	if err := c.getJSON(ctx, "/v1/deltas"+sinceQuery(since), &dr); err != nil {
 		return nil, err
 	}
 	out := make([]adapt.BNVersion, 0, len(dr.Versions))
@@ -477,48 +587,55 @@ func (c *Client) Deltas(since time.Time, ref *nn.BNSnapshot) ([]adapt.BNVersion,
 
 // Base downloads the current base model snapshot.
 func (c *Client) Base() (*nn.NetSnapshot, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/v1/base")
+	return c.BaseContext(context.Background())
+}
+
+// BaseContext is Base with request cancellation.
+func (c *Client) BaseContext(ctx context.Context) (*nn.NetSnapshot, error) {
+	data, err := c.getRaw(ctx, "/v1/base")
 	if err != nil {
-		return nil, fmt.Errorf("httpapi: base: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, httpError("base", resp)
-	}
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("httpapi: base body: %w", err)
+		return nil, err
 	}
 	return nn.DecodeNetSnapshot(data)
 }
 
 // Status fetches service counters.
 func (c *Client) Status() (StatusResponse, error) {
+	return c.StatusContext(context.Background())
+}
+
+// StatusContext is Status with request cancellation.
+func (c *Client) StatusContext(ctx context.Context) (StatusResponse, error) {
 	var sr StatusResponse
-	resp, err := c.HTTP.Get(c.BaseURL + "/v1/status")
-	if err != nil {
-		return sr, fmt.Errorf("httpapi: status: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return sr, httpError("status", resp)
-	}
-	err = decodeJSON(resp.Body, &sr)
+	err := c.getJSON(ctx, "/v1/status", &sr)
 	return sr, err
 }
 
-func (c *Client) post(path string, body, out any) error {
+// sinceQuery renders the optional ?since= parameter.
+func sinceQuery(since time.Time) string {
+	if since.IsZero() {
+		return ""
+	}
+	return "?since=" + since.UTC().Format(time.RFC3339)
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("httpapi: marshal: %w", err)
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(data))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("httpapi: post %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return fmt.Errorf("httpapi: post %s: %w", path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		return httpError(path, resp)
+		return apiError(resp)
 	}
 	if out != nil {
 		return decodeJSON(resp.Body, out)
@@ -526,7 +643,50 @@ func (c *Client) post(path string, body, out any) error {
 	return nil
 }
 
-func httpError(op string, resp *http.Response) error {
-	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-	return fmt.Errorf("httpapi: %s: HTTP %d: %s", op, resp.StatusCode, bytes.TrimSpace(msg))
+// getJSON fetches path and decodes a JSON response into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	resp, err := c.get(ctx, path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return decodeJSON(resp.Body, out)
+}
+
+// getRaw fetches path and returns the raw (octet-stream) body.
+func (c *Client) getRaw(ctx context.Context, path string) ([]byte, error) {
+	resp, err := c.get(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: get %s: %w", path, err)
+	}
+	return data, nil
+}
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: get %s: %w", path, err)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: get %s: %w", path, err)
+	}
+	return resp, nil
+}
+
+// apiError decodes a non-2xx response into an *APIError.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return decodeAPIError(resp.StatusCode, bytes.TrimSpace(body))
 }

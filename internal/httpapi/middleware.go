@@ -1,0 +1,187 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"nazar/internal/obs"
+)
+
+// Middleware wraps an http.Handler.
+type Middleware func(http.Handler) http.Handler
+
+// Chain applies middlewares so that mw[0] is the outermost wrapper:
+// Chain(h, A, B) serves A(B(h)).
+func Chain(h http.Handler, mw ...Middleware) http.Handler {
+	for i := len(mw) - 1; i >= 0; i-- {
+		h = mw[i](h)
+	}
+	return h
+}
+
+// statusRecorder captures the status code and response size, and — for
+// plain-text 404/405 responses the ServeMux generates itself — rewrites
+// them into the JSON error envelope so every error on the API surface
+// honors the same contract.
+type statusRecorder struct {
+	http.ResponseWriter
+	status      int
+	bytes       int64
+	intercepted bool // body suppressed; envelope already written
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status != 0 {
+		return // double WriteHeader (e.g. after a panic mid-response)
+	}
+	w.status = code
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		w.intercepted = true
+		apiCode := CodeNotFound
+		if code == http.StatusMethodNotAllowed {
+			apiCode = CodeMethodNotAllowed
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.ResponseWriter.WriteHeader(code)
+		_ = json.NewEncoder(w.ResponseWriter).Encode(errorEnvelope{
+			Error: &APIError{Code: apiCode, Message: http.StatusText(code)},
+		})
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.intercepted {
+		return len(b), nil // swallow the mux's plain-text body
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// record wraps w unless an inner middleware already did.
+func record(w http.ResponseWriter) *statusRecorder {
+	if rec, ok := w.(*statusRecorder); ok {
+		return rec
+	}
+	return &statusRecorder{ResponseWriter: w}
+}
+
+// Recover converts handler panics into a 500 envelope (when the header
+// is not out yet) and logs the stack. The connection is never left
+// mid-response without a status.
+func Recover(logger *slog.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := record(w)
+			defer func() {
+				if v := recover(); v != nil {
+					logger.Error("handler panic",
+						"method", r.Method, "path", r.URL.Path,
+						"panic", v, "stack", string(debug.Stack()))
+					if rec.status == 0 {
+						writeError(rec, http.StatusInternalServerError, CodeInternal, "internal server error")
+					}
+				}
+			}()
+			next.ServeHTTP(rec, r)
+		})
+	}
+}
+
+// Logging emits one structured line per request.
+func Logging(logger *slog.Logger) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := record(w)
+			start := time.Now()
+			// Deferred so the line is emitted even when the handler
+			// panics (an outer Recover owns the response).
+			defer func() {
+				status := rec.status
+				if status == 0 {
+					status = http.StatusOK
+				}
+				logger.Info("request",
+					"method", r.Method, "path", r.URL.Path,
+					"status", status, "bytes", rec.bytes,
+					"duration", time.Since(start))
+			}()
+			next.ServeHTTP(rec, r)
+		})
+	}
+}
+
+// HTTPMetrics is the server's request instrument set.
+//
+//	nazar_http_requests_total                 all requests
+//	nazar_http_responses_total{class=...}     responses by status class
+//	nazar_http_in_flight                      requests being served now
+//	nazar_http_request_seconds                request latency (histogram)
+//	nazar_http_panics_total                   recovered handler panics
+type HTTPMetrics struct {
+	requests *obs.Counter
+	byClass  map[int]*obs.Counter // status/100 → counter
+	inFlight *obs.Gauge
+	latency  *obs.Histogram
+	panics   *obs.Counter
+}
+
+// NewHTTPMetrics registers the request instrument set on reg.
+func NewHTTPMetrics(reg *obs.Registry) *HTTPMetrics {
+	m := &HTTPMetrics{
+		requests: reg.Counter("nazar_http_requests_total", "HTTP requests received."),
+		byClass:  make(map[int]*obs.Counter, 4),
+		inFlight: reg.Gauge("nazar_http_in_flight", "HTTP requests currently being served."),
+		latency:  reg.Histogram("nazar_http_request_seconds", "HTTP request latency.", obs.DefBuckets),
+		panics:   reg.Counter("nazar_http_panics_total", "Recovered handler panics."),
+	}
+	for _, class := range []int{2, 3, 4, 5} {
+		m.byClass[class] = reg.Counter("nazar_http_responses_total",
+			"HTTP responses by status class.", obs.L("class", []string{"2xx", "3xx", "4xx", "5xx"}[class-2]))
+	}
+	return m
+}
+
+// Middleware instruments requests: total/status-class counters, an
+// in-flight gauge and a latency histogram. Panics pass through to an
+// outer Recover after being counted.
+func (m *HTTPMetrics) Middleware() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := record(w)
+			m.requests.Inc()
+			m.inFlight.Inc()
+			span := m.latency.Start()
+			defer func() {
+				span.End()
+				m.inFlight.Dec()
+				status := rec.status
+				v := recover()
+				if v != nil {
+					m.panics.Inc()
+					status = http.StatusInternalServerError
+				}
+				if status == 0 {
+					status = http.StatusOK
+				}
+				if c := m.byClass[status/100]; c != nil {
+					c.Inc()
+				}
+				if v != nil {
+					panic(v) // re-raise for the outer Recover
+				}
+			}()
+			next.ServeHTTP(rec, r)
+		})
+	}
+}

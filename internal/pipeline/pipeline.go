@@ -20,6 +20,7 @@ import (
 	"nazar/internal/imagesim"
 	"nazar/internal/metrics"
 	"nazar/internal/nn"
+	"nazar/internal/obs"
 	"nazar/internal/rca"
 	"nazar/internal/tensor"
 	"nazar/internal/weather"
@@ -88,6 +89,11 @@ type Config struct {
 	// Weather, when non-nil, replaces the seeded synthetic generator —
 	// e.g. weather.Records loaded from a historical CSV.
 	Weather weather.Source
+	// Observer, when non-nil, instruments the run: the cloud service's
+	// counters/histograms and a fleet-wide device instrument set are
+	// registered on it (expose it with obs.Registry.Handler or snapshot
+	// it with WritePrometheus after the run).
+	Observer *obs.Registry
 	// RetireAfter evicts a device's version when its cause has been
 	// absent from the last N analyses (0 — the default — disables
 	// retirement). Enable it when early windows can diagnose confounded
@@ -212,7 +218,13 @@ func Run(ds *dataset.Dataset, base *nn.Network, cfg Config) (*Result, error) {
 	}
 	windows := ds.WindowSlices(cfg.Windows)
 
-	svc := cloud.NewService(base, cfg.Cloud)
+	var svcOpts []cloud.Option
+	var fleetMetrics *device.Metrics
+	if cfg.Observer != nil {
+		svcOpts = append(svcOpts, cloud.WithObserver(cfg.Observer))
+		fleetMetrics = device.NewMetrics(cfg.Observer)
+	}
+	svc := cloud.NewService(base, cfg.Cloud, svcOpts...)
 	devices := map[string]*device.Device{}
 	getDevice := func(id, location string) *device.Device {
 		if d, ok := devices[id]; ok {
@@ -224,6 +236,7 @@ func Run(ds *dataset.Dataset, base *nn.Network, cfg Config) (*Result, error) {
 			PoolCapacity: cfg.PoolCapacity,
 			SampleRate:   cfg.SampleRate,
 			Detector:     detect.Threshold{Scorer: detect.MSP{}, T: cfg.DetectorThreshold},
+			Metrics:      fleetMetrics,
 			Rng:          tensor.NewRand(cfg.Seed^hashString(id), 0xD),
 		}, base)
 		devices[id] = d

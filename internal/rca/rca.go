@@ -7,6 +7,7 @@
 package rca
 
 import (
+	"context"
 	"fmt"
 
 	"nazar/internal/driftlog"
@@ -115,8 +116,19 @@ func (m Mode) String() string {
 // Analyze runs root-cause analysis over the drift-log view in the given
 // mode and returns the final causes in rank order.
 func Analyze(v *driftlog.View, cfg Config, mode Mode) ([]Cause, error) {
-	results, err := fim.Mine(v, nil, cfg.Thresholds)
+	return AnalyzeContext(context.Background(), v, cfg, mode)
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation: mining and
+// counterfactual rescoring both check the context between stages and
+// between worker-pool chunks, returning ctx.Err() when the analysis is
+// abandoned mid-window.
+func AnalyzeContext(ctx context.Context, v *driftlog.View, cfg Config, mode Mode) ([]Cause, error) {
+	results, err := fim.MineContext(ctx, v, nil, cfg.Thresholds)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
 		return nil, fmt.Errorf("rca: mining: %w", err)
 	}
 	switch mode {
@@ -131,7 +143,7 @@ func Analyze(v *driftlog.View, cfg Config, mode Mode) ([]Cause, error) {
 		return toCauses(coarse), nil
 	case Full:
 		assocs := SetReduction(results)
-		return Counterfactual(v, assocs, cfg.Thresholds)
+		return CounterfactualContext(ctx, v, assocs, cfg.Thresholds)
 	default:
 		return nil, fmt.Errorf("rca: unknown mode %v", mode)
 	}
@@ -143,9 +155,18 @@ func Analyze(v *driftlog.View, cfg Config, mode Mode) ([]Cause, error) {
 // counterfactually cleared, accept it and clear its drift; otherwise
 // fall back to any of its subsets that remain significant.
 func Counterfactual(v *driftlog.View, assocs []Association, th fim.Thresholds) ([]Cause, error) {
+	return CounterfactualContext(context.Background(), v, assocs, th)
+}
+
+// CounterfactualContext is Counterfactual with cooperative cancellation
+// (checked once per association and between rescoring chunks).
+func CounterfactualContext(ctx context.Context, v *driftlog.View, assocs []Association, th fim.Thresholds) ([]Cause, error) {
 	overlay := v.DriftOverlay()
 	var causes []Cause
 	for _, a := range assocs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		re, err := fim.Rescore(v, a.Coarse.Items, overlay)
 		if err != nil {
 			return nil, fmt.Errorf("rca: rescoring %s: %w", a.Coarse.Items, err)
@@ -164,11 +185,13 @@ func Counterfactual(v *driftlog.View, assocs []Association, th fim.Thresholds) (
 		// result deterministic at any pool width.
 		reSubs := make([]fim.Result, len(a.Subsets))
 		errs := make([]error, len(a.Subsets))
-		tensor.ParallelFor(len(a.Subsets), func(lo, hi int) {
+		if err := tensor.ParallelForCtx(ctx, len(a.Subsets), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				reSubs[i], errs[i] = fim.Rescore(v, a.Subsets[i].Items, overlay)
 			}
-		})
+		}); err != nil {
+			return nil, err
+		}
 		for i, sub := range a.Subsets {
 			if errs[i] != nil {
 				return nil, fmt.Errorf("rca: rescoring %s: %w", sub.Items, errs[i])

@@ -9,6 +9,7 @@
 package tensor
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -285,6 +286,39 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Worker-pool instrumentation: cheap atomic tallies that internal/obs
+// gauge functions pull at scrape time. Counting happens per ParallelFor
+// call (not per iteration), so the hot loops are untouched.
+var (
+	poolParallelCalls   atomic.Int64
+	poolSequentialCalls atomic.Int64
+	poolGoroutines      atomic.Int64
+	poolActive          atomic.Int64
+)
+
+// PoolStats is a snapshot of worker-pool activity since process start.
+type PoolStats struct {
+	// ParallelCalls counts ParallelFor invocations that fanned out.
+	ParallelCalls int64
+	// SequentialCalls counts invocations that ran inline (small n or a
+	// one-worker pool).
+	SequentialCalls int64
+	// Goroutines is the cumulative number of worker goroutines spawned.
+	Goroutines int64
+	// Active is the number of worker goroutines running right now.
+	Active int64
+}
+
+// ReadPoolStats returns the current pool counters.
+func ReadPoolStats() PoolStats {
+	return PoolStats{
+		ParallelCalls:   poolParallelCalls.Load(),
+		SequentialCalls: poolSequentialCalls.Load(),
+		Goroutines:      poolGoroutines.Load(),
+		Active:          poolActive.Load(),
+	}
+}
+
 // ParallelFor splits [0,n) into contiguous chunks, runs f on each chunk
 // from its own goroutine (at most Workers() of them) and waits. Results
 // must be written to disjoint, pre-indexed destinations so the outcome is
@@ -297,10 +331,12 @@ func ParallelFor(n int, f func(lo, hi int)) {
 	}
 	if workers <= 1 {
 		if n > 0 {
+			poolSequentialCalls.Add(1)
 			f(0, n)
 		}
 		return
 	}
+	poolParallelCalls.Add(1)
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
 	for lo := 0; lo < n; lo += chunk {
@@ -309,12 +345,82 @@ func ParallelFor(n int, f func(lo, hi int)) {
 			hi = n
 		}
 		wg.Add(1)
+		poolGoroutines.Add(1)
+		poolActive.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer poolActive.Add(-1)
 			f(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// ParallelForCtx is ParallelFor with cooperative cancellation: the range
+// is split into finer chunks (4× the pool width) and the context is
+// checked before each chunk is dispatched, so a cancelled analysis
+// abandons the remaining fan-out promptly. In-flight chunks always run to
+// completion and results are index-addressed, so for a context that is
+// never cancelled the outcome is identical to ParallelFor at any pool
+// width. Returns ctx.Err() when cancellation cut the sweep short.
+func ParallelForCtx(ctx context.Context, n int, f func(lo, hi int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Sequential, but still cancellable between fine-grained chunks.
+		if n > 0 {
+			poolSequentialCalls.Add(1)
+			chunk := seqChunk(n)
+			for lo := 0; lo < n; lo += chunk {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				hi := min(lo+chunk, n)
+				f(lo, hi)
+			}
+		}
+		return nil
+	}
+	poolParallelCalls.Add(1)
+	chunk := (n + 4*workers - 1) / (4 * workers)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var cancelled error
+	for lo := 0; lo < n; lo += chunk {
+		if err := ctx.Err(); err != nil {
+			cancelled = err
+			break
+		}
+		hi := min(lo+chunk, n)
+		sem <- struct{}{}
+		wg.Add(1)
+		poolGoroutines.Add(1)
+		poolActive.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer poolActive.Add(-1)
+			defer func() { <-sem }()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return cancelled
+}
+
+// seqChunk picks a cancellation-check granularity for sequential
+// context-aware sweeps: fine enough to notice cancellation, coarse enough
+// to keep the per-chunk overhead negligible.
+func seqChunk(n int) int {
+	chunk := n / 16
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
 }
 
 // parallelRows splits [0,rows) across the worker pool and waits.
