@@ -4,10 +4,11 @@
 GO ?= go
 
 # Packages with dedicated concurrency stress tests; the race detector is
-# mandatory for them (sharded stores, batched ingest, HTTP surface).
-RACE_PKGS = ./internal/cloud/... ./internal/driftlog/... ./internal/httpapi/...
+# mandatory for them (sharded stores, batched ingest, HTTP surface, the
+# shared workspace arena under the compute kernels).
+RACE_PKGS = ./internal/cloud/... ./internal/driftlog/... ./internal/httpapi/... ./internal/tensor/...
 
-.PHONY: ci vet staticcheck build test race fuzz bench clean
+.PHONY: ci vet staticcheck build test race fuzz bench bench-kernels bench-smoke clean
 
 ci: vet staticcheck build test race
 
@@ -42,6 +43,23 @@ fuzz:
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkRunWindow$$' -benchtime 2s .
+
+# Kernel/model micro-benchmarks (-benchmem): blocked vs reference matmul
+# orientations, fused ops, workspace round trips, steady-state model
+# passes. Each benchmark runs 5 times and benchjson keeps the fastest
+# sample, which filters shared-machine noise. The parsed results
+# (including blocked-vs-ref speedups) land in BENCH_kernels.json.
+bench-kernels:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 0.5s -count 5 ./internal/tensor/ ./internal/nn/ \
+		| tee bench-kernels.out
+	$(GO) run ./cmd/benchjson < bench-kernels.out > BENCH_kernels.json
+	@rm -f bench-kernels.out
+	@echo "wrote BENCH_kernels.json"
+
+# One-iteration pass over every benchmark in the repo — the CI smoke
+# check that none of them rotted.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 clean:
 	$(GO) clean -testcache

@@ -111,6 +111,10 @@ func AdaptContext(ctx context.Context, base *nn.Network, samples *tensor.Matrix,
 	net := base.Clone()
 	net.FreezeExceptBN()
 	opt := nn.NewAdam(cfg.LR)
+	// Step buffers (batch, MEMO copies, loss gradient, filter probs) are
+	// reused for the whole run; shapes only change on the final partial
+	// batch.
+	var run runner
 
 	n := samples.Rows
 	idx := make([]int, n)
@@ -141,14 +145,14 @@ func AdaptContext(ctx context.Context, base *nn.Network, samples *tensor.Matrix,
 			if e-s < 2 && cfg.Method == TENT {
 				break // a singleton TENT batch has a degenerate objective
 			}
-			batch := gatherRows(samples, idx[s:e])
+			batch := run.gatherRows(samples, idx[s:e])
 			switch cfg.Method {
 			case TENT:
 				net.ZeroGrads()
 				logits := net.Forward(batch, nn.Adapt)
-				_, dlogits := nn.Entropy(logits)
+				_, dlogits := nn.EntropyInto(&run.dlogits, logits)
 				if cfg.EntropyFilter > 0 {
-					zeroUnreliableRows(logits, dlogits, cfg.EntropyFilter)
+					run.zeroUnreliableRows(logits, dlogits, cfg.EntropyFilter)
 				}
 				net.Backward(dlogits)
 				opt.Step(net.Params())
@@ -157,7 +161,7 @@ func AdaptContext(ctx context.Context, base *nn.Network, samples *tensor.Matrix,
 				// the batch so BN statistics come from the whole
 				// augmented batch, then minimize the per-input
 				// marginal entropy.
-				copies := tensor.New(batch.Rows*cfg.Augmentations, batch.Cols)
+				copies := run.copies.Reshape(batch.Rows*cfg.Augmentations, batch.Cols)
 				for r := 0; r < batch.Rows; r++ {
 					for a := 0; a < cfg.Augmentations; a++ {
 						copy(copies.Row(r*cfg.Augmentations+a), cfg.Augment(batch.Row(r), cfg.Rng))
@@ -165,7 +169,7 @@ func AdaptContext(ctx context.Context, base *nn.Network, samples *tensor.Matrix,
 				}
 				net.ZeroGrads()
 				logits := net.Forward(copies, nn.Adapt)
-				_, dlogits := nn.GroupedMarginalEntropy(logits, cfg.Augmentations)
+				_, dlogits := nn.GroupedMarginalEntropyInto(&run.dlogits, logits, cfg.Augmentations)
 				net.Backward(dlogits)
 				opt.Step(net.Params())
 			default:
@@ -178,13 +182,28 @@ func AdaptContext(ctx context.Context, base *nn.Network, samples *tensor.Matrix,
 	return net, nil
 }
 
+// runner owns the per-step scratch of one adaptation run: the gathered
+// batch, the MEMO augmented-copies matrix, the loss gradient, and the
+// softmax scratch of the reliability filter. A zero runner is ready to
+// use; buffers grow to the largest shape seen and are reused across
+// every optimizer step, so steady-state adaptation does not allocate
+// (pinned by TestAdaptSteadyStateAllocs).
+type runner struct {
+	batch, copies, dlogits tensor.Matrix
+	probs                  []float64
+}
+
 // zeroUnreliableRows zeroes the gradient rows of samples whose prediction
 // entropy exceeds frac·ln(C) — they still contribute to the BN batch
 // statistics but not to the γ/β update.
-func zeroUnreliableRows(logits, grad *tensor.Matrix, frac float64) {
+func (run *runner) zeroUnreliableRows(logits, grad *tensor.Matrix, frac float64) {
 	limit := frac * math.Log(float64(logits.Cols))
+	if cap(run.probs) < logits.Cols {
+		run.probs = make([]float64, logits.Cols)
+	}
+	probs := run.probs[:logits.Cols]
 	for i := 0; i < logits.Rows; i++ {
-		p := tensor.Softmax(logits.Row(i))
+		p := tensor.SoftmaxTo(probs, logits.Row(i))
 		if nn.EntropyOf(p) > limit {
 			g := grad.Row(i)
 			for j := range g {
@@ -194,9 +213,10 @@ func zeroUnreliableRows(logits, grad *tensor.Matrix, frac float64) {
 	}
 }
 
-// gatherRows copies the selected rows into a fresh matrix.
-func gatherRows(m *tensor.Matrix, sel []int) *tensor.Matrix {
-	out := tensor.New(len(sel), m.Cols)
+// gatherRows copies the selected rows of m into the runner's reused
+// batch buffer.
+func (run *runner) gatherRows(m *tensor.Matrix, sel []int) *tensor.Matrix {
+	out := run.batch.Reshape(len(sel), m.Cols)
 	for i, r := range sel {
 		copy(out.Row(i), m.Row(r))
 	}

@@ -158,6 +158,15 @@ func (m *Metrics) observeStores(s *Service) {
 		func() float64 { return float64(tensor.ReadPoolStats().Goroutines) })
 	reg.GaugeFunc("nazar_pool_active_workers", "Worker goroutines running now.",
 		func() float64 { return float64(tensor.ReadPoolStats().Active) })
+
+	reg.GaugeFunc("nazar_workspace_gets", "Scratch matrices handed out by the workspace arena.",
+		func() float64 { return float64(tensor.ReadWorkspaceStats().Gets) })
+	reg.GaugeFunc("nazar_workspace_hits", "Workspace gets satisfied by a recycled matrix.",
+		func() float64 { return float64(tensor.ReadWorkspaceStats().Hits) })
+	reg.GaugeFunc("nazar_workspace_puts", "Scratch matrices returned to the workspace arena.",
+		func() float64 { return float64(tensor.ReadWorkspaceStats().Puts) })
+	reg.GaugeFunc("nazar_workspace_discards", "Returned matrices dropped for off-class capacity.",
+		func() float64 { return float64(tensor.ReadWorkspaceStats().Discards) })
 }
 
 // rowAge converts a row timestamp into an age (0 when the store is

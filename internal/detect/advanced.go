@@ -29,32 +29,40 @@ func NewOdin(net *nn.Network, threshold float64) *Odin {
 // Score computes the Odin confidence of one input (not of precomputed
 // logits: the method must touch the model twice).
 func (o *Odin) Score(x []float64) float64 {
-	in := tensor.FromSlice(1, len(x), append([]float64(nil), x...))
+	// All per-call buffers come from the tensor workspace arena, so a
+	// scoring loop over a stream of inputs is allocation-free.
+	in := tensor.GetMatrix(1, len(x))
+	defer tensor.PutMatrix(in)
+	copy(in.Data, x)
 	logits := o.Net.Forward(in, nn.Eval)
 	pred, _ := tensor.ArgMax(logits.Row(0))
 
 	// Gradient of the temperature-scaled NLL of the predicted class
 	// w.r.t. the input.
-	scaled := make([]float64, logits.Cols)
+	scaled := tensor.GetMatrix(1, logits.Cols)
+	defer tensor.PutMatrix(scaled)
 	for i, v := range logits.Row(0) {
-		scaled[i] = v / o.Temp
+		scaled.Data[i] = v / o.Temp
 	}
-	p := tensor.Softmax(scaled)
-	dlogits := tensor.New(1, logits.Cols)
-	for i := range p {
-		dlogits.Data[i] = p[i] / o.Temp
+	tensor.SoftmaxInPlace(scaled.Data)
+	dlogits := tensor.GetMatrix(1, logits.Cols)
+	defer tensor.PutMatrix(dlogits)
+	for i, p := range scaled.Data {
+		dlogits.Data[i] = p / o.Temp
 	}
 	dlogits.Data[pred] -= 1 / o.Temp
 	o.Net.ZeroGrads()
 	dx := o.Net.Backward(dlogits)
 
 	// Perturb the input to increase confidence; re-run inference.
-	pert := make([]float64, len(x))
+	pert := tensor.GetMatrix(1, len(x))
+	defer tensor.PutMatrix(pert)
 	for i := range x {
-		pert[i] = x[i] - o.Epsilon*sign(dx.Data[i])
+		pert.Data[i] = x[i] - o.Epsilon*sign(dx.Data[i])
 	}
-	logits2 := o.Net.LogitsOne(pert)
-	return tensor.Max(softmaxWithTemperature(logits2, o.Temp))
+	logits2 := o.Net.Forward(pert, nn.Eval).Row(0)
+	copy(scaled.Data, logits2)
+	return tensor.Max(softmaxWithTemperatureInPlace(scaled.Data, o.Temp))
 }
 
 // Detect reports drift when the Odin score falls below the threshold.
@@ -80,6 +88,9 @@ type GOdin struct {
 	Threshold float64
 	// g(x) = sigmoid(a·||h(x)|| + b), fitted on clean data.
 	a, b float64
+	// Reused per-call scratch.
+	lbl     [1]int
+	dlogits tensor.Matrix
 }
 
 // NewGOdin fits the g head on clean training inputs and returns the
@@ -115,24 +126,28 @@ func NewGOdin(net *nn.Network, clean *tensor.Matrix, threshold float64) *GOdin {
 // Score computes the decomposed confidence max_c h_c / g after an Odin
 // style perturbation (no outlier data involved anywhere).
 func (g *GOdin) Score(x []float64) float64 {
-	in := tensor.FromSlice(1, len(x), append([]float64(nil), x...))
+	in := tensor.GetMatrix(1, len(x))
+	defer tensor.PutMatrix(in)
+	copy(in.Data, x)
 	logits := g.Net.Forward(in, nn.Eval)
 	pred, _ := tensor.ArgMax(logits.Row(0))
-	_, dlogits := nn.CrossEntropy(logits, []int{pred})
+	g.lbl[0] = pred
+	_, dlogits := nn.CrossEntropyInto(&g.dlogits, logits, g.lbl[:])
 	g.Net.ZeroGrads()
 	dx := g.Net.Backward(dlogits)
-	pert := make([]float64, len(x))
+	pert := tensor.GetMatrix(1, len(x))
+	defer tensor.PutMatrix(pert)
 	for i := range x {
-		pert[i] = x[i] - g.Epsilon*sign(dx.Data[i])
+		pert.Data[i] = x[i] - g.Epsilon*sign(dx.Data[i])
 	}
-	in2 := tensor.FromSlice(1, len(pert), pert)
-	logits2 := g.Net.Forward(in2, nn.Eval)
+	logits2 := g.Net.Forward(pert, nn.Eval)
 	norm := tensor.Norm2(g.Net.Hidden().Row(0))
 	gval := 1 / (1 + math.Exp(-(g.a*norm + g.b)))
 	if gval < 1e-6 {
 		gval = 1e-6
 	}
-	return tensor.Max(tensor.Softmax(logits2.Row(0))) / gval
+	probs := tensor.SoftmaxTo(g.dlogits.Data, logits2.Row(0))
+	return tensor.Max(probs) / gval
 }
 
 // Detect reports drift when the decomposed confidence is below threshold.

@@ -127,11 +127,18 @@ func ScoreBatch(s Scorer, logits *tensor.Matrix) []float64 {
 // softmaxWithTemperature returns softmax(logits/T).
 func softmaxWithTemperature(logits []float64, temp float64) []float64 {
 	scaled := make([]float64, len(logits))
-	for i, v := range logits {
-		scaled[i] = v / temp
+	copy(scaled, logits)
+	return softmaxWithTemperatureInPlace(scaled, temp)
+}
+
+// softmaxWithTemperatureInPlace overwrites v with softmax(v/T) — the
+// allocation-free variant for reused scratch.
+func softmaxWithTemperatureInPlace(v []float64, temp float64) []float64 {
+	for i, x := range v {
+		v[i] = x / temp
 	}
-	tensor.SoftmaxInPlace(scaled)
-	return scaled
+	tensor.SoftmaxInPlace(v)
+	return v
 }
 
 // sign returns -1, 0 or 1.

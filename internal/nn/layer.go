@@ -9,6 +9,12 @@
 // differentiable model with batch-norm state. This package provides that
 // substrate in pure Go so the rest of the system exercises genuine
 // gradients and genuine BN statistics rather than mocked numbers.
+//
+// Buffer ownership: layers keep their forward/backward outputs in
+// per-layer scratch that is overwritten by the next pass through the
+// same layer. Callers that retain a returned matrix across passes must
+// Clone it (see DESIGN.md). This makes steady-state Forward/Backward
+// allocation-free, which the regression tests in allocs_test.go pin.
 package nn
 
 import (
@@ -68,10 +74,13 @@ func (p *Param) clone() *Param {
 // Layer is one stage of a sequential network.
 type Layer interface {
 	// Forward consumes a batch (rows = examples) and returns the layer
-	// output, caching whatever Backward needs.
+	// output, caching whatever Backward needs. The returned matrix is
+	// layer-owned scratch, valid until the layer's next Forward.
 	Forward(x *tensor.Matrix, mode Mode) *tensor.Matrix
 	// Backward consumes dL/d(output) and returns dL/d(input),
-	// accumulating parameter gradients along the way.
+	// accumulating parameter gradients along the way. The returned
+	// matrix is layer-owned scratch, valid until the layer's next
+	// Backward.
 	Backward(dout *tensor.Matrix) *tensor.Matrix
 	// Params returns the layer's learnable parameters (may be empty).
 	Params() []*Param
@@ -79,11 +88,23 @@ type Layer interface {
 	Clone() Layer
 }
 
+// fusedReLULayer is implemented by layers whose forward pass can absorb
+// an immediately following ReLU into a single fused kernel. The layer
+// writes the activation mask into r so r.Backward works unchanged; the
+// result must be bit-identical to Forward followed by r.Forward.
+type fusedReLULayer interface {
+	forwardFusedReLU(x *tensor.Matrix, mode Mode, r *ReLU) *tensor.Matrix
+}
+
 // Dense is a fully connected layer: y = x·W + b.
 type Dense struct {
 	In, Out int
 	w, b    *Param
 	x       *tensor.Matrix // cached input
+
+	// Persistent scratch, resized with Reshape and reused across steps.
+	y, dx, dW tensor.Matrix
+	db        []float64
 }
 
 // NewDense returns a Dense layer with He-initialized weights.
@@ -95,21 +116,37 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 
 func (d *Dense) Forward(x *tensor.Matrix, _ Mode) *tensor.Matrix {
 	d.x = x
-	y := tensor.New(x.Rows, d.Out)
-	tensor.MatMul(y, x, d.w.W)
-	y.AddRowVector(d.b.W.Data)
+	y := d.y.Reshape(x.Rows, d.Out)
+	tensor.MatMulBias(y, x, d.w.W, d.b.W.Data)
+	return y
+}
+
+// forwardFusedReLU runs dense+bias+ReLU in one kernel pass, never
+// materializing the pre-activation; the ReLU layer receives the mask it
+// needs for backward.
+func (d *Dense) forwardFusedReLU(x *tensor.Matrix, _ Mode, r *ReLU) *tensor.Matrix {
+	d.x = x
+	y := d.y.Reshape(x.Rows, d.Out)
+	tensor.MatMulBiasReLU(y, x, d.w.W, d.b.W.Data, r.ensureMask(x.Rows*d.Out))
 	return y
 }
 
 func (d *Dense) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	dW := tensor.New(d.In, d.Out)
+	// dW goes through scratch and a separate Add (rather than
+	// accumulating into Grad directly) because Grad may already be
+	// non-zero: detectors run two backward passes per step, and the
+	// accumulation order is part of the pinned numerics.
+	dW := d.dW.Reshape(d.In, d.Out)
 	tensor.MatMulATB(dW, d.x, dout)
 	d.w.Grad.Add(dW)
-	db := dout.ColSums()
+	if cap(d.db) < d.Out {
+		d.db = make([]float64, d.Out)
+	}
+	db := dout.ColSumsInto(d.db[:d.Out])
 	for j, v := range db {
 		d.b.Grad.Data[j] += v
 	}
-	dx := tensor.New(dout.Rows, d.In)
+	dx := d.dx.Reshape(dout.Rows, d.In)
 	tensor.MatMulABT(dx, dout, d.w.W)
 	return dx
 }
@@ -122,33 +159,43 @@ func (d *Dense) Clone() Layer {
 
 // ReLU is the rectified linear activation.
 type ReLU struct {
-	mask []bool
+	mask  []bool
+	y, dx tensor.Matrix
 }
 
 // NewReLU returns a ReLU activation layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
-func (r *ReLU) Forward(x *tensor.Matrix, _ Mode) *tensor.Matrix {
-	y := x.Clone()
-	if cap(r.mask) < len(y.Data) {
-		r.mask = make([]bool, len(y.Data))
+// ensureMask resizes the activation mask to n entries and returns it.
+func (r *ReLU) ensureMask(n int) []bool {
+	if cap(r.mask) < n {
+		r.mask = make([]bool, n)
 	}
-	r.mask = r.mask[:len(y.Data)]
-	for i, v := range y.Data {
+	r.mask = r.mask[:n]
+	return r.mask
+}
+
+func (r *ReLU) Forward(x *tensor.Matrix, _ Mode) *tensor.Matrix {
+	y := r.y.Reshape(x.Rows, x.Cols)
+	mask := r.ensureMask(len(y.Data))
+	for i, v := range x.Data {
 		if v <= 0 {
 			y.Data[i] = 0
-			r.mask[i] = false
+			mask[i] = false
 		} else {
-			r.mask[i] = true
+			y.Data[i] = v
+			mask[i] = true
 		}
 	}
 	return y
 }
 
 func (r *ReLU) Backward(dout *tensor.Matrix) *tensor.Matrix {
-	dx := dout.Clone()
-	for i := range dx.Data {
-		if !r.mask[i] {
+	dx := r.dx.Reshape(dout.Rows, dout.Cols)
+	for i, v := range dout.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		} else {
 			dx.Data[i] = 0
 		}
 	}
@@ -176,6 +223,11 @@ type BatchNorm struct {
 	xhat    *tensor.Matrix
 	invStd  []float64
 	batched bool
+
+	// Persistent scratch.
+	xhatBuf, y, dx  tensor.Matrix
+	meanBuf, varBuf []float64
+	dgamma, dbeta   []float64
 }
 
 // NewBatchNorm returns a BatchNorm over dim features with γ=1, β=0.
@@ -188,6 +240,11 @@ func NewBatchNorm(dim int) *BatchNorm {
 		beta:     newParam("beta", 1, dim),
 		RunMean:  make([]float64, dim),
 		RunVar:   make([]float64, dim),
+		invStd:   make([]float64, dim),
+		meanBuf:  make([]float64, dim),
+		varBuf:   make([]float64, dim),
+		dgamma:   make([]float64, dim),
+		dbeta:    make([]float64, dim),
 	}
 	bn.gamma.W.Fill(1)
 	for i := range bn.RunVar {
@@ -203,6 +260,16 @@ func (bn *BatchNorm) Gamma() []float64 { return bn.gamma.W.Data }
 func (bn *BatchNorm) Beta() []float64 { return bn.beta.W.Data }
 
 func (bn *BatchNorm) Forward(x *tensor.Matrix, mode Mode) *tensor.Matrix {
+	return bn.forward(x, mode, nil)
+}
+
+// forwardFusedReLU folds the following ReLU's clamp and mask into the
+// normalize+affine output loop.
+func (bn *BatchNorm) forwardFusedReLU(x *tensor.Matrix, mode Mode, r *ReLU) *tensor.Matrix {
+	return bn.forward(x, mode, r)
+}
+
+func (bn *BatchNorm) forward(x *tensor.Matrix, mode Mode, r *ReLU) *tensor.Matrix {
 	if x.Cols != bn.Dim {
 		panic(fmt.Sprintf("nn: BatchNorm dim %d got %d", bn.Dim, x.Cols))
 	}
@@ -214,8 +281,8 @@ func (bn *BatchNorm) Forward(x *tensor.Matrix, mode Mode) *tensor.Matrix {
 
 	var mean, variance []float64
 	if bn.batched {
-		mean = x.ColMeans()
-		variance = x.ColVariances(mean)
+		mean = x.ColMeansInto(bn.meanBuf)
+		variance = x.ColVariancesInto(bn.varBuf, mean)
 		m := bn.Momentum
 		for j := range bn.RunMean {
 			bn.RunMean[j] = (1-m)*bn.RunMean[j] + m*mean[j]
@@ -225,20 +292,35 @@ func (bn *BatchNorm) Forward(x *tensor.Matrix, mode Mode) *tensor.Matrix {
 		mean, variance = bn.RunMean, bn.RunVar
 	}
 
-	bn.invStd = make([]float64, bn.Dim)
 	for j := range bn.invStd {
 		bn.invStd[j] = 1 / math.Sqrt(variance[j]+bn.Eps)
 	}
 
-	xhat := tensor.New(x.Rows, x.Cols)
-	y := tensor.New(x.Rows, x.Cols)
+	xhat := bn.xhatBuf.Reshape(x.Rows, x.Cols)
+	y := bn.y.Reshape(x.Rows, x.Cols)
 	g, b := bn.gamma.W.Data, bn.beta.W.Data
+	var mask []bool
+	if r != nil {
+		mask = r.ensureMask(x.Rows * x.Cols)
+	}
 	for i := 0; i < x.Rows; i++ {
 		xr, hr, yr := x.Row(i), xhat.Row(i), y.Row(i)
 		for j, v := range xr {
 			h := (v - mean[j]) * bn.invStd[j]
 			hr[j] = h
-			yr[j] = g[j]*h + b[j]
+			out := g[j]*h + b[j]
+			if r == nil {
+				yr[j] = out
+				continue
+			}
+			mi := i*x.Cols + j
+			if out > 0 {
+				yr[j] = out
+				mask[mi] = true
+			} else {
+				yr[j] = 0
+				mask[mi] = false
+			}
 		}
 	}
 	bn.xhat = xhat
@@ -250,8 +332,11 @@ func (bn *BatchNorm) Backward(dout *tensor.Matrix) *tensor.Matrix {
 	g := bn.gamma.W.Data
 
 	// Parameter gradients are identical in both normalization modes.
-	dgamma := make([]float64, bn.Dim)
-	dbeta := make([]float64, bn.Dim)
+	dgamma, dbeta := bn.dgamma, bn.dbeta
+	for j := range dgamma {
+		dgamma[j] = 0
+		dbeta[j] = 0
+	}
 	for i := 0; i < dout.Rows; i++ {
 		dr, hr := dout.Row(i), bn.xhat.Row(i)
 		for j, dv := range dr {
@@ -264,7 +349,7 @@ func (bn *BatchNorm) Backward(dout *tensor.Matrix) *tensor.Matrix {
 		bn.beta.Grad.Data[j] += dbeta[j]
 	}
 
-	dx := tensor.New(dout.Rows, dout.Cols)
+	dx := bn.dx.Reshape(dout.Rows, dout.Cols)
 	if !bn.batched {
 		// Running-stat normalization is a fixed affine map.
 		for i := 0; i < dout.Rows; i++ {
@@ -289,14 +374,12 @@ func (bn *BatchNorm) Backward(dout *tensor.Matrix) *tensor.Matrix {
 func (bn *BatchNorm) Params() []*Param { return []*Param{bn.gamma, bn.beta} }
 
 func (bn *BatchNorm) Clone() Layer {
-	c := &BatchNorm{
-		Dim:      bn.Dim,
-		Momentum: bn.Momentum,
-		Eps:      bn.Eps,
-		gamma:    bn.gamma.clone(),
-		beta:     bn.beta.clone(),
-		RunMean:  append([]float64(nil), bn.RunMean...),
-		RunVar:   append([]float64(nil), bn.RunVar...),
-	}
+	c := NewBatchNorm(bn.Dim)
+	c.Momentum = bn.Momentum
+	c.Eps = bn.Eps
+	c.gamma = bn.gamma.clone()
+	c.beta = bn.beta.clone()
+	copy(c.RunMean, bn.RunMean)
+	copy(c.RunVar, bn.RunVar)
 	return c
 }

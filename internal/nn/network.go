@@ -18,20 +18,41 @@ type Network struct {
 	// Forward call; detectors such as Mahalanobis distance read it as
 	// the penultimate feature representation.
 	hidden *tensor.Matrix
+	// params caches the flattened parameter list; LayersList is fixed
+	// after construction, so it is built once.
+	params []*Param
+	// oneIn is the reused single-example wrapper behind LogitsOne.
+	oneIn tensor.Matrix
 }
 
 // NewNetwork builds a sequential network from layers.
 func NewNetwork(layers ...Layer) *Network { return &Network{LayersList: layers} }
 
 // Forward runs the batch through all layers in the given mode and returns
-// the logits.
+// the logits. Adjacent (Dense|BatchNorm, ReLU) pairs run as one fused
+// kernel pass — bit-identical to the unfused sequence (pinned by
+// TestForwardFusionBitIdentical) but touching each activation once.
 func (n *Network) Forward(x *tensor.Matrix, mode Mode) *tensor.Matrix {
 	h := x
-	for i, l := range n.LayersList {
-		if i == len(n.LayersList)-1 {
+	layers := n.LayersList
+	last := len(layers) - 1
+	for i := 0; i < len(layers); {
+		if i == last {
 			n.hidden = h
 		}
-		h = l.Forward(h, mode)
+		// Fuse layer+ReLU unless the ReLU is the final layer (the
+		// hidden bookkeeping above needs its input observable).
+		if i+1 < last {
+			if r, ok := layers[i+1].(*ReLU); ok {
+				if f, ok := layers[i].(fusedReLULayer); ok {
+					h = f.forwardFusedReLU(h, mode, r)
+					i += 2
+					continue
+				}
+			}
+		}
+		h = layers[i].Forward(h, mode)
+		i++
 	}
 	return h
 }
@@ -50,13 +71,15 @@ func (n *Network) Backward(dout *tensor.Matrix) *tensor.Matrix {
 // Hidden returns the cached penultimate features of the last Forward.
 func (n *Network) Hidden() *tensor.Matrix { return n.hidden }
 
-// Params returns all learnable parameters in layer order.
+// Params returns all learnable parameters in layer order. The slice is
+// cached: it is built on first use and must not be mutated by callers.
 func (n *Network) Params() []*Param {
-	var ps []*Param
-	for _, l := range n.LayersList {
-		ps = append(ps, l.Params()...)
+	if n.params == nil {
+		for _, l := range n.LayersList {
+			n.params = append(n.params, l.Params()...)
+		}
 	}
-	return ps
+	return n.params
 }
 
 // ZeroGrads clears every parameter gradient.
@@ -116,10 +139,12 @@ func (n *Network) Clone() *Network {
 // Logits runs an Eval-mode forward pass.
 func (n *Network) Logits(x *tensor.Matrix) *tensor.Matrix { return n.Forward(x, Eval) }
 
-// LogitsOne returns the logit vector for a single example.
+// LogitsOne returns the logit vector for a single example. The returned
+// slice aliases network scratch and is valid until the next forward
+// pass.
 func (n *Network) LogitsOne(x []float64) []float64 {
-	m := tensor.FromSlice(1, len(x), x)
-	return n.Logits(m).Row(0)
+	n.oneIn.Rows, n.oneIn.Cols, n.oneIn.Data = 1, len(x), x
+	return n.Logits(&n.oneIn).Row(0)
 }
 
 // Predict returns the argmax class per example in Eval mode.

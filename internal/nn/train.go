@@ -40,6 +40,10 @@ func Fit(net *Network, x *tensor.Matrix, labels []int, cfg TrainConfig) {
 		idx[i] = i
 	}
 	baseLR, setLR := optimizerLR(cfg.Optimizer)
+	// Batch and gradient buffers are reused across every step of the
+	// run; only their shape changes (the final partial batch).
+	var bx, dlogits tensor.Matrix
+	by := make([]int, 0, cfg.BatchSize)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if cfg.Schedule != nil && setLR != nil {
 			setLR(baseLR * cfg.Schedule(epoch))
@@ -49,10 +53,10 @@ func Fit(net *Network, x *tensor.Matrix, labels []int, cfg TrainConfig) {
 		batches := 0
 		for start := 0; start < n; start += cfg.BatchSize {
 			end := min(start+cfg.BatchSize, n)
-			bx, by := gather(x, labels, idx[start:end])
-			logits := net.Forward(bx, Train)
-			loss, dlogits := CrossEntropy(logits, by)
-			net.Backward(dlogits)
+			by = gatherInto(&bx, by[:0], x, labels, idx[start:end])
+			logits := net.Forward(&bx, Train)
+			loss, grad := CrossEntropyInto(&dlogits, logits, by)
+			net.Backward(grad)
 			if cfg.ClipNorm > 0 {
 				ClipGradients(net.Params(), cfg.ClipNorm)
 			}
@@ -82,15 +86,15 @@ func optimizerLR(opt Optimizer) (float64, func(float64)) {
 	}
 }
 
-// gather copies the selected rows/labels into a fresh batch.
-func gather(x *tensor.Matrix, labels []int, sel []int) (*tensor.Matrix, []int) {
-	bx := tensor.New(len(sel), x.Cols)
-	by := make([]int, len(sel))
+// gatherInto copies the selected rows/labels into the reused batch
+// buffers, reshaping bx and appending the labels to by.
+func gatherInto(bx *tensor.Matrix, by []int, x *tensor.Matrix, labels []int, sel []int) []int {
+	bx.Reshape(len(sel), x.Cols)
 	for i, r := range sel {
 		copy(bx.Row(i), x.Row(r))
-		by[i] = labels[r]
+		by = append(by, labels[r])
 	}
-	return bx, by
+	return by
 }
 
 // PerClassAccuracy returns accuracy per class label over (x, labels) for

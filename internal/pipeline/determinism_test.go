@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -44,6 +45,63 @@ func TestRunDeterministicAcrossPoolWidths(t *testing.T) {
 		a.AdaptDuration, b.AdaptDuration = 0, 0
 		if !reflect.DeepEqual(a, b) {
 			t.Errorf("window %d diverges across pool widths:\n  1 worker: %+v\n  8 workers: %+v", i, a, b)
+		}
+	}
+}
+
+// TestModelPassDeterministicAcrossPoolWidths extends the pool-width
+// contract down to the compute substrate introduced with the blocked
+// kernels: a full train step (fused forward, loss, backward) over
+// shapes large enough to cross the parallel threshold must produce
+// bit-identical logits and gradients at width 1 and width 8.
+func TestModelPassDeterministicAcrossPoolWidths(t *testing.T) {
+	// 128×96 inputs through an ArchResNet50 (width 96) put every matmul
+	// orientation above the parallel threshold.
+	build := func() (*nn.Network, *tensor.Matrix, []int) {
+		rng := tensor.NewRand(77, 5)
+		net := nn.NewClassifier(nn.ArchResNet50, 96, 12, rng)
+		x := tensor.New(128, 96)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		labels := make([]int, x.Rows)
+		for i := range labels {
+			labels[i] = i % 12
+		}
+		return net, x, labels
+	}
+
+	type pass struct {
+		logits *tensor.Matrix
+		grads  []*tensor.Matrix
+	}
+	runAt := func(workers int) pass {
+		tensor.SetMaxWorkers(workers)
+		defer tensor.SetMaxWorkers(0)
+		net, x, labels := build()
+		logits := net.Forward(x, nn.Train)
+		_, dlogits := nn.CrossEntropy(logits, labels)
+		net.Backward(dlogits)
+		var grads []*tensor.Matrix
+		for _, p := range net.Params() {
+			grads = append(grads, p.Grad.Clone())
+		}
+		return pass{logits: logits.Clone(), grads: grads}
+	}
+
+	seq := runAt(1)
+	par := runAt(8)
+	for i := range seq.logits.Data {
+		if math.Float64bits(seq.logits.Data[i]) != math.Float64bits(par.logits.Data[i]) {
+			t.Fatalf("logits diverge across pool widths at %d: %v vs %v",
+				i, seq.logits.Data[i], par.logits.Data[i])
+		}
+	}
+	for k := range seq.grads {
+		for i := range seq.grads[k].Data {
+			if math.Float64bits(seq.grads[k].Data[i]) != math.Float64bits(par.grads[k].Data[i]) {
+				t.Fatalf("gradient %d diverges across pool widths at %d", k, i)
+			}
 		}
 	}
 }

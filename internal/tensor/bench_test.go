@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// Kernel micro-benchmarks: blocked dispatch vs the reference loops at
+// the shapes the nn hot path actually runs (batch×hidden products).
+// `make bench-kernels` runs these with -benchmem and records the output
+// in BENCH_kernels.json; the ≥1.5× large-shape speedup of the blocked
+// kernels over the reference loops is part of the PR acceptance
+// criteria.
+
+func benchMatrices(m, k, n int) (a, b, bt, dy, dst, atb *Matrix) {
+	rng := rand.New(rand.NewPCG(0xBE7C4, 1))
+	a = New(m, k)
+	b = New(k, n)
+	bt = New(n, k)
+	dy = New(m, n)
+	dst = New(m, n)
+	atb = New(k, n)
+	for _, mat := range []*Matrix{a, b, bt, dy} {
+		for i := range mat.Data {
+			mat.Data[i] = rng.NormFloat64()
+		}
+	}
+	return
+}
+
+var benchSizes = []int{64, 128, 256}
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, s := range benchSizes {
+		a, bm, _, _, dst, _ := benchMatrices(s, s, s)
+		b.Run(fmt.Sprintf("blocked/%d", s), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(8 * s * s * s))
+			for i := 0; i < b.N; i++ {
+				MatMul(dst, a, bm)
+			}
+		})
+		b.Run(fmt.Sprintf("ref/%d", s), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(8 * s * s * s))
+			for i := 0; i < b.N; i++ {
+				MatMulRef(dst, a, bm)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulATB(b *testing.B) {
+	for _, s := range benchSizes {
+		a, bm, _, _, dst, _ := benchMatrices(s, s, s)
+		b.Run(fmt.Sprintf("blocked/%d", s), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(8 * s * s * s))
+			for i := 0; i < b.N; i++ {
+				MatMulATB(dst, a, bm)
+			}
+		})
+		b.Run(fmt.Sprintf("ref/%d", s), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(8 * s * s * s))
+			for i := 0; i < b.N; i++ {
+				MatMulATBRef(dst, a, bm)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulABT(b *testing.B) {
+	for _, s := range benchSizes {
+		a, _, bt, _, dst, _ := benchMatrices(s, s, s)
+		b.Run(fmt.Sprintf("blocked/%d", s), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(8 * s * s * s))
+			for i := 0; i < b.N; i++ {
+				MatMulABT(dst, a, bt)
+			}
+		})
+		b.Run(fmt.Sprintf("ref/%d", s), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(8 * s * s * s))
+			for i := 0; i < b.N; i++ {
+				MatMulABTRef(dst, a, bt)
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulBiasReLU compares the fused dense-forward kernel
+// against the unfused MatMul + AddRowVector + clamp sequence it
+// replaces.
+func BenchmarkMatMulBiasReLU(b *testing.B) {
+	const m, k, n = 64, 96, 96
+	a, bm, _, _, dst, _ := benchMatrices(m, k, n)
+	bias := make([]float64, n)
+	mask := make([]bool, m*n)
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MatMulBiasReLU(dst, a, bm, bias, mask)
+		}
+	})
+	b.Run("unfused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MatMul(dst, a, bm)
+			dst.AddRowVector(bias)
+			for j, v := range dst.Data {
+				if v > 0 {
+					mask[j] = true
+				} else {
+					dst.Data[j] = 0
+					mask[j] = false
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkWorkspaceGetPut measures the steady-state arena round trip
+// (expected: zero allocations, dominated by the Get-side zeroing).
+func BenchmarkWorkspaceGetPut(b *testing.B) {
+	PutMatrix(GetMatrix(64, 64)) // warm the class
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := GetMatrix(64, 64)
+		PutMatrix(m)
+	}
+}

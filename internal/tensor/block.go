@@ -1,0 +1,232 @@
+package tensor
+
+// Cache/register-blocked matmul kernels.
+//
+// All three matmul orientations share one design: the inner loop streams
+// a length-Cols destination row while folding in four source rows at a
+// time (a "k-quad"). Relative to the straight ikj loop this quarters the
+// number of dst loads/stores per multiply-add and lets the compiler keep
+// the four panel scalars in registers, which is where the measured
+// 1.5-2x single-thread win comes from. Row-major storage means every
+// slice the inner loop touches is already contiguous, so no packing
+// copies are needed (a packed-panel variant was measured and lost: the
+// pack traffic costs more than it saves at these shapes — see DESIGN.md).
+//
+// Bit-exactness contract: for every output element the kernels perform
+// the same floating-point additions in the same order as the reference
+// loops (matMulRange and friends), so results are bit-identical to the
+// reference at any worker-pool width. Two rules keep it that way:
+//
+//  1. Accumulation must stay left-associated against the destination:
+//     `d = d + a0*b0 + a1*b1 + ...`, never `d += a0*b0 + a1*b1 + ...`
+//     (the latter sums the products first and adds them as one term,
+//     which rounds differently).
+//  2. Zero source values may only be skipped in groups whose products
+//     are all exactly ±0: adding ±0 to a running sum that started at +0
+//     can never change its bits for finite inputs, because a sum can
+//     only become -0 through operations the accumulation never performs.
+//
+// The reference loops are kept both as the small-shape fallback (the
+// quad setup overhead dominates tiny products) and as the oracle for the
+// differential and fuzz tests.
+
+// blockedMinK and blockedMinN gate the blocked kernels: below these the
+// reference loop is at least as fast and far simpler.
+const (
+	blockedMinK = 8 // inner (reduction) dimension
+	blockedMinN = 8 // destination row length
+)
+
+// matMulBlocked computes rows [lo,hi) of dst = a·b with 4-wide k-quads,
+// bit-identical to matMulRange.
+func matMulBlocked(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	kk := a.Cols
+	for i := lo; i < hi; i++ {
+		di := dst.Data[i*n : i*n+n : i*n+n]
+		for j := range di {
+			di[j] = 0
+		}
+		ai := a.Row(i)
+		matMulQuadRow(di, ai, b, n, kk)
+	}
+}
+
+// matMulQuadRow accumulates di += ai·b using k-quads. di must be
+// pre-initialized (zero for a plain product).
+func matMulQuadRow(di, ai []float64, b *Matrix, n, kk int) {
+	k := 0
+	for ; k+4 <= kk; k += 4 {
+		a0, a1, a2, a3 := ai[k], ai[k+1], ai[k+2], ai[k+3]
+		if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+			continue // all four products are ±0; see bit-exactness note
+		}
+		b0 := b.Data[k*n : k*n+n : k*n+n]
+		b1 := b.Data[(k+1)*n : (k+1)*n+n : (k+1)*n+n]
+		b2 := b.Data[(k+2)*n : (k+2)*n+n : (k+2)*n+n]
+		b3 := b.Data[(k+3)*n : (k+3)*n+n : (k+3)*n+n]
+		for j, v := range b0 {
+			di[j] = di[j] + a0*v + a1*b1[j] + a2*b2[j] + a3*b3[j]
+		}
+	}
+	for ; k < kk; k++ {
+		av := ai[k]
+		if av == 0 {
+			continue
+		}
+		bk := b.Data[k*n : k*n+n : k*n+n]
+		for j, bv := range bk {
+			di[j] += av * bv
+		}
+	}
+}
+
+// matMulATBBlocked computes dst rows [lo,hi) of dst = aᵀ·b (dst row i is
+// column i of a) with 4-wide quads over the shared reduction dimension
+// (the rows of a and b), bit-identical to matMulATBRange.
+func matMulATBBlocked(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		di := dst.Data[i*n : i*n+n]
+		for j := range di {
+			di[j] = 0
+		}
+	}
+	rows := a.Rows
+	r := 0
+	for ; r+4 <= rows; r += 4 {
+		a0, a1, a2, a3 := a.Row(r), a.Row(r+1), a.Row(r+2), a.Row(r+3)
+		b0 := b.Data[r*n : r*n+n : r*n+n]
+		b1 := b.Data[(r+1)*n : (r+1)*n+n : (r+1)*n+n]
+		b2 := b.Data[(r+2)*n : (r+2)*n+n : (r+2)*n+n]
+		b3 := b.Data[(r+3)*n : (r+3)*n+n : (r+3)*n+n]
+		for i := lo; i < hi; i++ {
+			v0, v1, v2, v3 := a0[i], a1[i], a2[i], a3[i]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			di := dst.Data[i*n : i*n+n : i*n+n]
+			for j, bv := range b0 {
+				di[j] = di[j] + v0*bv + v1*b1[j] + v2*b2[j] + v3*b3[j]
+			}
+		}
+	}
+	for ; r < rows; r++ {
+		ar := a.Row(r)
+		br := b.Data[r*n : r*n+n : r*n+n]
+		for i := lo; i < hi; i++ {
+			av := ar[i]
+			if av == 0 {
+				continue
+			}
+			di := dst.Data[i*n : i*n+n : i*n+n]
+			for j, bv := range br {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulABTBlocked computes rows [lo,hi) of dst = a·bᵀ. Each output is a
+// dot product over the shared inner dimension; the kernel computes four
+// of them per pass over ai (quartering the ai traffic) and unrolls the
+// reduction four-wide, keeping each accumulator's addition order
+// identical to the reference loop.
+func matMulABTBlocked(dst, a, b *Matrix, lo, hi int) {
+	kk := a.Cols
+	for i := lo; i < hi; i++ {
+		ai := a.Row(i)
+		di := dst.Row(i)
+		j := 0
+		for ; j+4 <= b.Rows; j += 4 {
+			b0, b1, b2, b3 := b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3)
+			var s0, s1, s2, s3 float64
+			k := 0
+			for ; k+4 <= kk; k += 4 {
+				v0, v1, v2, v3 := ai[k], ai[k+1], ai[k+2], ai[k+3]
+				s0 = s0 + v0*b0[k] + v1*b0[k+1] + v2*b0[k+2] + v3*b0[k+3]
+				s1 = s1 + v0*b1[k] + v1*b1[k+1] + v2*b1[k+2] + v3*b1[k+3]
+				s2 = s2 + v0*b2[k] + v1*b2[k+1] + v2*b2[k+2] + v3*b2[k+3]
+				s3 = s3 + v0*b3[k] + v1*b3[k+1] + v2*b3[k+2] + v3*b3[k+3]
+			}
+			for ; k < kk; k++ {
+				v := ai[k]
+				s0 += v * b0[k]
+				s1 += v * b1[k]
+				s2 += v * b2[k]
+				s3 += v * b3[k]
+			}
+			di[j], di[j+1], di[j+2], di[j+3] = s0, s1, s2, s3
+		}
+		for ; j < b.Rows; j++ {
+			bj := b.Row(j)
+			var s float64
+			k := 0
+			for ; k+4 <= kk; k += 4 {
+				s = s + ai[k]*bj[k] + ai[k+1]*bj[k+1] + ai[k+2]*bj[k+2] + ai[k+3]*bj[k+3]
+			}
+			for ; k < kk; k++ {
+				s += ai[k] * bj[k]
+			}
+			di[j] = s
+		}
+	}
+}
+
+// matMulBiasRange computes rows [lo,hi) of dst = a·b + bias, optionally
+// applying ReLU in the same pass. mask, when non-nil, receives the ReLU
+// activation mask (mask[i*n+j] reports whether the pre-activation was
+// positive). The accumulation is the plain MatMul kernel; bias/ReLU run
+// as a row epilogue, so dst is bit-identical to MatMul + AddRowVector
+// (+ ReLU).
+func matMulBiasRange(dst, a, b *Matrix, bias []float64, relu bool, mask []bool, lo, hi int) {
+	n := b.Cols
+	kk := a.Cols
+	blocked := kk >= blockedMinK && n >= blockedMinN
+	for i := lo; i < hi; i++ {
+		di := dst.Data[i*n : i*n+n : i*n+n]
+		for j := range di {
+			di[j] = 0
+		}
+		ai := a.Row(i)
+		if blocked {
+			matMulQuadRow(di, ai, b, n, kk)
+		} else {
+			for k, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bk := b.Data[k*n : k*n+n : k*n+n]
+				for j, bv := range bk {
+					di[j] += av * bv
+				}
+			}
+		}
+		switch {
+		case relu && mask != nil:
+			mi := mask[i*n : i*n+n : i*n+n]
+			for j, bv := range bias {
+				v := di[j] + bv
+				if v > 0 {
+					di[j] = v
+					mi[j] = true
+				} else {
+					di[j] = 0
+					mi[j] = false
+				}
+			}
+		case relu:
+			for j, bv := range bias {
+				if v := di[j] + bv; v > 0 {
+					di[j] = v
+				} else {
+					di[j] = 0
+				}
+			}
+		default:
+			for j, bv := range bias {
+				di[j] += bv
+			}
+		}
+	}
+}

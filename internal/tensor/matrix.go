@@ -82,6 +82,25 @@ func (m *Matrix) CopyFrom(src *Matrix) {
 	copy(m.Data, src.Data)
 }
 
+// Reshape resizes m to rows×cols reusing its backing storage when the
+// capacity suffices (growing it otherwise) and returns m. The contents
+// after a Reshape are unspecified — callers must fully overwrite them.
+// This is the primitive behind every reused scratch buffer: shape
+// changes between steps (e.g. a final partial batch) without
+// reallocating.
+func (m *Matrix) Reshape(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
 // Zero sets every element of m to 0.
 func (m *Matrix) Zero() {
 	for i := range m.Data {
@@ -169,8 +188,9 @@ func (m *Matrix) T() *Matrix {
 const parallelThreshold = 1 << 16
 
 // MatMul computes dst = a·b. dst must not alias a or b and must be
-// pre-shaped to a.Rows×b.Cols. It is parallelized across rows for large
-// products.
+// pre-shaped to a.Rows×b.Cols. Large shapes run the cache-blocked
+// kernel (bit-identical to the reference loop) and are parallelized
+// across rows.
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dim %d != %d", a.Cols, b.Rows))
@@ -178,12 +198,67 @@ func MatMul(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
-	work := a.Rows * a.Cols * b.Cols
-	if work < parallelThreshold {
-		matMulRange(dst, a, b, 0, a.Rows)
+	kernel := matMulRange
+	if a.Cols >= blockedMinK && b.Cols >= blockedMinN {
+		kernel = matMulBlocked
+	}
+	// The Workers() == 1 short-circuit skips the fan-out closure so a
+	// one-worker pool stays allocation-free (the allocs regression
+	// guards pin this).
+	if a.Rows*a.Cols*b.Cols < parallelThreshold || Workers() == 1 {
+		kernel(dst, a, b, 0, a.Rows)
 		return
 	}
-	parallelRows(a.Rows, func(lo, hi int) { matMulRange(dst, a, b, lo, hi) })
+	parallelRows(a.Rows, func(lo, hi int) { kernel(dst, a, b, lo, hi) })
+}
+
+// MatMulRef computes dst = a·b with the straight reference loop,
+// sequentially. It is the differential-testing oracle for the blocked
+// kernels; production code should call MatMul.
+func MatMulRef(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulRef inner dim %d != %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulRef dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	matMulRange(dst, a, b, 0, a.Rows)
+}
+
+// MatMulBias computes dst = a·b with bias (length b.Cols) added to
+// every row in the kernel epilogue — one pass over dst instead of a
+// matmul followed by AddRowVector, bit-identical to that sequence.
+func MatMulBias(dst, a, b *Matrix, bias []float64) {
+	matMulBiasDispatch(dst, a, b, bias, false, nil, "MatMulBias")
+}
+
+// MatMulBiasReLU computes dst = relu(a·b + bias) in a single pass. When
+// mask is non-nil it must have len a.Rows*b.Cols and receives the ReLU
+// activation mask (true where the pre-activation was positive), which
+// is exactly what a ReLU backward pass needs — the fused forward for a
+// dense+ReLU pair that never materializes the pre-activation.
+func MatMulBiasReLU(dst, a, b *Matrix, bias []float64, mask []bool) {
+	if mask != nil && len(mask) != a.Rows*b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulBiasReLU mask len %d != %d", len(mask), a.Rows*b.Cols))
+	}
+	matMulBiasDispatch(dst, a, b, bias, true, mask, "MatMulBiasReLU")
+}
+
+func matMulBiasDispatch(dst, a, b *Matrix, bias []float64, relu bool, mask []bool, op string) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: %s inner dim %d != %d", op, a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s dst %dx%d != %dx%d", op, dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	if len(bias) != b.Cols {
+		panic(fmt.Sprintf("tensor: %s bias len %d != cols %d", op, len(bias), b.Cols))
+	}
+	if a.Rows*a.Cols*b.Cols < parallelThreshold || Workers() == 1 {
+		matMulBiasRange(dst, a, b, bias, relu, mask, 0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matMulBiasRange(dst, a, b, bias, relu, mask, lo, hi) })
 }
 
 // matMulRange computes rows [lo,hi) of dst = a·b using an ikj loop order
@@ -209,7 +284,11 @@ func matMulRange(dst, a, b *Matrix, lo, hi int) {
 }
 
 // MatMulATB computes dst = aᵀ·b without materializing the transpose.
-// dst must be a.Cols×b.Cols. Used for weight gradients (xᵀ·dy).
+// dst must be a.Cols×b.Cols. Used for weight gradients (xᵀ·dy) — it
+// sits on every training/adaptation step, so large shapes run the
+// blocked kernel and are parallelized over output rows (each worker
+// owns a disjoint band of dst, so the result is independent of the
+// pool width).
 func MatMulATB(dst, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulATB outer dim %d != %d", a.Rows, b.Rows))
@@ -217,21 +296,53 @@ func MatMulATB(dst, a, b *Matrix) {
 	if dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulATB dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
-	dst.Zero()
+	kernel := matMulATBRange
+	if a.Rows >= blockedMinK && b.Cols >= blockedMinN {
+		kernel = matMulATBBlocked
+	}
+	if a.Rows*a.Cols*b.Cols < parallelThreshold || Workers() == 1 {
+		kernel(dst, a, b, 0, a.Cols)
+		return
+	}
+	parallelRows(a.Cols, func(lo, hi int) { kernel(dst, a, b, lo, hi) })
+}
+
+// matMulATBRange computes dst rows [lo,hi) of dst = aᵀ·b with the
+// reference loop (dst row i is column i of a).
+func matMulATBRange(dst, a, b *Matrix, lo, hi int) {
 	n := b.Cols
+	for i := lo; i < hi; i++ {
+		di := dst.Data[i*n : i*n+n]
+		for j := range di {
+			di[j] = 0
+		}
+	}
 	for r := 0; r < a.Rows; r++ {
 		ar := a.Row(r)
-		br := b.Data[r*n : (r+1)*n]
-		for i, av := range ar {
+		br := b.Data[r*n : r*n+n]
+		for i := lo; i < hi; i++ {
+			av := ar[i]
 			if av == 0 {
 				continue
 			}
-			di := dst.Data[i*n : (i+1)*n]
+			di := dst.Data[i*n : i*n+n]
 			for j, bv := range br {
 				di[j] += av * bv
 			}
 		}
 	}
+}
+
+// MatMulATBRef computes dst = aᵀ·b with the sequential reference loop
+// (the differential-testing oracle for the blocked kernel).
+func MatMulATBRef(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulATBRef outer dim %d != %d", a.Rows, b.Rows))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulATBRef dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	matMulATBRange(dst, a, b, 0, a.Cols)
 }
 
 // MatMulABT computes dst = a·bᵀ without materializing the transpose.
@@ -243,25 +354,44 @@ func MatMulABT(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulABT dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	f := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Row(i)
-			di := dst.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				bj := b.Row(j)
-				var s float64
-				for k, av := range ai {
-					s += av * bj[k]
-				}
-				di[j] = s
-			}
-		}
+	kernel := matMulABTRange
+	if a.Cols >= blockedMinK && b.Rows >= blockedMinN {
+		kernel = matMulABTBlocked
 	}
-	if a.Rows*a.Cols*b.Rows < parallelThreshold {
-		f(0, a.Rows)
+	if a.Rows*a.Cols*b.Rows < parallelThreshold || Workers() == 1 {
+		kernel(dst, a, b, 0, a.Rows)
 		return
 	}
-	parallelRows(a.Rows, f)
+	parallelRows(a.Rows, func(lo, hi int) { kernel(dst, a, b, lo, hi) })
+}
+
+// matMulABTRange computes rows [lo,hi) of dst = a·bᵀ with the reference
+// dot-product loop.
+func matMulABTRange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := a.Row(i)
+		di := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			bj := b.Row(j)
+			var s float64
+			for k, av := range ai {
+				s += av * bj[k]
+			}
+			di[j] = s
+		}
+	}
+}
+
+// MatMulABTRef computes dst = a·bᵀ with the sequential reference loop
+// (the differential-testing oracle for the blocked kernel).
+func MatMulABTRef(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulABTRef inner dim %d != %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulABTRef dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	matMulABTRange(dst, a, b, 0, a.Rows)
 }
 
 // maxWorkers caps the fan-out of ParallelFor; 0 means GOMAXPROCS.
@@ -441,48 +571,87 @@ func (m *Matrix) AddRowVector(v []float64) {
 
 // ColSums returns the per-column sums of m as a length-Cols slice.
 func (m *Matrix) ColSums() []float64 {
-	sums := make([]float64, m.Cols)
+	return m.ColSumsInto(make([]float64, m.Cols))
+}
+
+// ColSumsInto writes the per-column sums of m into dst (length Cols)
+// and returns it — the allocation-free variant for reused scratch.
+func (m *Matrix) ColSumsInto(dst []float64) []float64 {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: ColSumsInto len %d != cols %d", len(dst), m.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
-			sums[j] += v
+			dst[j] += v
 		}
 	}
-	return sums
+	return dst
 }
 
 // ColMeans returns the per-column means of m.
 func (m *Matrix) ColMeans() []float64 {
-	sums := m.ColSums()
+	return m.ColMeansInto(make([]float64, m.Cols))
+}
+
+// ColMeansInto writes the per-column means of m into dst and returns
+// it.
+func (m *Matrix) ColMeansInto(dst []float64) []float64 {
+	m.ColSumsInto(dst)
 	if m.Rows == 0 {
-		return sums
+		return dst
 	}
 	inv := 1 / float64(m.Rows)
-	for j := range sums {
-		sums[j] *= inv
+	for j := range dst {
+		dst[j] *= inv
 	}
-	return sums
+	return dst
 }
 
 // ColVariances returns the per-column (biased) variances of m given the
 // precomputed column means.
 func (m *Matrix) ColVariances(means []float64) []float64 {
-	vars := make([]float64, m.Cols)
+	return m.ColVariancesInto(make([]float64, m.Cols), means)
+}
+
+// ColVariancesInto writes the per-column (biased) variances of m into
+// dst given the precomputed column means, and returns dst.
+func (m *Matrix) ColVariancesInto(dst, means []float64) []float64 {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: ColVariancesInto len %d != cols %d", len(dst), m.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	if m.Rows == 0 {
-		return vars
+		return dst
 	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
 			d := v - means[j]
-			vars[j] += d * d
+			dst[j] += d * d
 		}
 	}
 	inv := 1 / float64(m.Rows)
-	for j := range vars {
-		vars[j] *= inv
+	for j := range dst {
+		dst[j] *= inv
 	}
-	return vars
+	return dst
+}
+
+// SoftmaxTo writes softmax(v) into dst (same length) and returns dst —
+// the allocation-free sibling of Softmax.
+func SoftmaxTo(dst, v []float64) []float64 {
+	if len(dst) != len(v) {
+		panic(fmt.Sprintf("tensor: SoftmaxTo length %d != %d", len(dst), len(v)))
+	}
+	copy(dst, v)
+	SoftmaxInPlace(dst)
+	return dst
 }
 
 // SoftmaxRows overwrites every row of m with its numerically stable

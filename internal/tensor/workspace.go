@@ -1,0 +1,149 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Workspace support: a process-wide arena of recyclable scratch matrices
+// built on size-classed sync.Pools. The steady-state compute path
+// (layer forward/backward scratch, adaptation batches, detector
+// perturbation buffers) turns over identically-shaped matrices at high
+// frequency; the arena makes those acquisitions allocation-free after
+// warm-up instead of GC churn.
+//
+// Aliasing rules (also in DESIGN.md):
+//
+//   - A matrix obtained from GetMatrix/Workspace.Get is exclusively
+//     owned by the caller until it is returned with PutMatrix/Release.
+//   - Never return a matrix that other code may still reference (layer
+//     outputs handed to callers, cached activations). When in doubt,
+//     don't Put: an un-returned matrix is merely garbage, a returned
+//     live one is a data race.
+//   - Returned matrices are not zeroed on Put; GetMatrix zeroes before
+//     handing out, so holders may not rely on contents after Put.
+
+// matPoolBuckets is the number of power-of-two size classes. Bucket b
+// holds backing slices with capacity exactly 1<<b; the largest class
+// covers 2^25 floats (256 MiB), beyond which allocations fall through to
+// the garbage collector.
+const matPoolBuckets = 26
+
+var matPools [matPoolBuckets]sync.Pool
+
+// Workspace acquisition statistics (atomic; read by obs gauges).
+var (
+	wsGets     atomic.Int64
+	wsHits     atomic.Int64
+	wsPuts     atomic.Int64
+	wsDiscards atomic.Int64
+)
+
+// WorkspaceStats is a snapshot of arena activity since process start.
+type WorkspaceStats struct {
+	// Gets counts matrices handed out.
+	Gets int64
+	// Hits counts Gets satisfied by a recycled matrix (the remainder
+	// allocated fresh).
+	Hits int64
+	// Puts counts matrices returned to the arena.
+	Puts int64
+	// Discards counts returned matrices dropped because their backing
+	// capacity did not match a size class (foreign matrices).
+	Discards int64
+}
+
+// ReadWorkspaceStats returns the current arena counters.
+func ReadWorkspaceStats() WorkspaceStats {
+	return WorkspaceStats{
+		Gets:     wsGets.Load(),
+		Hits:     wsHits.Load(),
+		Puts:     wsPuts.Load(),
+		Discards: wsDiscards.Load(),
+	}
+}
+
+// sizeClass returns the bucket index whose slices hold at least n
+// floats, and the capacity of that class. n above the largest class
+// returns (-1, n): unpooled.
+func sizeClass(n int) (int, int) {
+	if n <= 0 {
+		return 0, 1
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if b >= matPoolBuckets {
+		return -1, n
+	}
+	return b, 1 << b
+}
+
+// GetMatrix returns a zeroed rows×cols matrix from the arena,
+// allocating only when no recycled matrix of a sufficient size class is
+// available. Return it with PutMatrix when done. Safe for concurrent
+// use.
+func GetMatrix(rows, cols int) *Matrix {
+	wsGets.Add(1)
+	n := rows * cols
+	b, capacity := sizeClass(n)
+	if b >= 0 {
+		if v := matPools[b].Get(); v != nil {
+			m := v.(*Matrix)
+			if cap(m.Data) >= n {
+				wsHits.Add(1)
+				m.Data = m.Data[:n]
+				m.Rows, m.Cols = rows, cols
+				m.Zero()
+				return m
+			}
+			// A foreign undersized slice slipped into the class;
+			// drop it and allocate.
+			wsDiscards.Add(1)
+		}
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, n, capacity)}
+}
+
+// PutMatrix returns m to the arena for reuse. m must not be used (or
+// Put again) afterwards; passing nil is a no-op. The contents are not
+// cleared — GetMatrix zeroes on the way out.
+func PutMatrix(m *Matrix) {
+	if m == nil || cap(m.Data) == 0 {
+		return
+	}
+	wsPuts.Add(1)
+	b := bits.Len(uint(cap(m.Data) - 1))
+	if b >= matPoolBuckets || 1<<b != cap(m.Data) {
+		// Only pool class-sized backings so Get's capacity guarantee
+		// stays cheap to uphold.
+		wsDiscards.Add(1)
+		return
+	}
+	matPools[b].Put(m)
+}
+
+// Workspace is a convenience handle over the arena that remembers what
+// it lent out so one Release call returns everything — the pattern for
+// functions that need several scratch matrices with a common lifetime.
+// The zero value is ready to use. A Workspace is NOT safe for
+// concurrent use; the underlying arena is.
+type Workspace struct {
+	lent []*Matrix
+}
+
+// Get returns a zeroed rows×cols scratch matrix owned by the workspace.
+func (w *Workspace) Get(rows, cols int) *Matrix {
+	m := GetMatrix(rows, cols)
+	w.lent = append(w.lent, m)
+	return m
+}
+
+// Release returns every matrix obtained through Get to the arena. The
+// workspace is reusable afterwards.
+func (w *Workspace) Release() {
+	for i, m := range w.lent {
+		PutMatrix(m)
+		w.lent[i] = nil
+	}
+	w.lent = w.lent[:0]
+}
