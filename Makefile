@@ -5,12 +5,13 @@ GO ?= go
 
 # Packages with dedicated concurrency stress tests; the race detector is
 # mandatory for them (sharded stores, batched ingest, HTTP surface, the
-# shared workspace arena under the compute kernels).
-RACE_PKGS = ./internal/cloud/... ./internal/driftlog/... ./internal/httpapi/... ./internal/tensor/...
+# shared workspace arena under the compute kernels, the spooling
+# transport and its fault injector).
+RACE_PKGS = ./internal/cloud/... ./internal/driftlog/... ./internal/httpapi/... ./internal/tensor/... ./internal/transport/... ./internal/faultinject/...
 
-.PHONY: ci vet staticcheck build test race fuzz bench bench-kernels bench-smoke clean
+.PHONY: ci vet staticcheck build test race race-chaos chaos fuzz bench bench-kernels bench-smoke clean
 
-ci: vet staticcheck build test race
+ci: vet staticcheck build test race race-chaos
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +35,17 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# The chaos harness (fleet → resilient transport → injected-fault wire →
+# cloud) under the race detector: the delivery invariant must hold with
+# every interleaving the detector can provoke.
+race-chaos:
+	$(GO) test -race -run 'TestChaos' ./internal/pipeline/
+
+# Full chaos run at the three fault-rate presets, one JSON summary per
+# rate on stdout. Exits non-zero if any acknowledged entry was lost.
+chaos:
+	$(GO) run ./cmd/nazar-sim -chaos -chaos-rates 0,0.1,0.3
 
 # Short coverage-guided fuzz pass over the HTTP decode surface (the
 # checked-in seed corpus always runs as part of `make test`).

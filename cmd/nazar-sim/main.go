@@ -8,14 +8,25 @@
 //	nazar-sim [-dataset cityscapes|animals] [-strategy nazar|adapt-all|no-adapt]
 //	          [-arch resnet18|resnet34|resnet50] [-windows 8] [-severity 3]
 //	          [-alpha 0] [-total 4000] [-epochs 25] [-seed 42]
+//
+// Chaos mode replaces the in-process workload with the fault-injected
+// HTTP harness (fleet → resilient transport → injected-fault wire →
+// cloud) and emits one JSON result line per fault rate:
+//
+//	nazar-sim -chaos [-chaos-rates 0,0.1,0.3] [-chaos-schedule latency=0.1:5ms,...] [-seed 42]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strconv"
+	"strings"
 
 	"nazar/internal/dataset"
+	"nazar/internal/faultinject"
 	"nazar/internal/imagesim"
 	"nazar/internal/nn"
 	"nazar/internal/pipeline"
@@ -32,8 +43,21 @@ func main() {
 		total    = flag.Int("total", 4000, "cityscapes total image count")
 		epochs   = flag.Int("epochs", 25, "base-model training epochs")
 		seed     = flag.Uint64("seed", 42, "random seed")
+
+		chaos         = flag.Bool("chaos", false, "run the fault-injected chaos harness instead of the workload")
+		chaosRates    = flag.String("chaos-rates", "0,0.1,0.3", "comma-separated fault rates for -chaos")
+		chaosSchedule = flag.String("chaos-schedule", "", "explicit fault schedule for -chaos (overrides -chaos-rates presets)")
+		chaosDevices  = flag.Int("chaos-devices", 3, "chaos fleet size")
+		chaosPerDev   = flag.Int("chaos-per-device", 40, "chaos inferences per device")
 	)
 	flag.Parse()
+
+	if *chaos {
+		if err := runChaos(*chaosRates, *chaosSchedule, *chaosDevices, *chaosPerDev, *seed); err != nil {
+			log.Fatalf("nazar-sim: %v", err)
+		}
+		return
+	}
 
 	var ds *dataset.Dataset
 	switch *dsName {
@@ -79,4 +103,44 @@ func main() {
 	for corr, ra := range res.PerDrift {
 		fmt.Printf("  drift %-18s accuracy %.1f%% (n=%d)\n", corr, 100*ra.Value(), ra.Total)
 	}
+}
+
+// runChaos executes the chaos harness at each requested fault rate and
+// writes one JSON result per line (the `make chaos` output). It exits
+// non-zero when any run loses an acknowledged entry.
+func runChaos(rates, schedule string, devices, perDevice int, seed uint64) error {
+	var sched *faultinject.Schedule
+	if schedule != "" {
+		s, err := faultinject.ParseSchedule(schedule)
+		if err != nil {
+			return err
+		}
+		sched = &s
+	}
+	enc := json.NewEncoder(os.Stdout)
+	lost := 0
+	for _, part := range strings.Split(rates, ",") {
+		rate, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return fmt.Errorf("bad -chaos-rates entry %q: %v", part, err)
+		}
+		res, err := pipeline.RunChaos(pipeline.ChaosConfig{
+			FaultRate: rate,
+			Schedule:  sched,
+			Devices:   devices,
+			PerDevice: perDevice,
+			Seed:      seed,
+		})
+		if err != nil {
+			return fmt.Errorf("chaos run at rate %v: %v", rate, err)
+		}
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		lost += res.LostAcked
+	}
+	if lost > 0 {
+		return fmt.Errorf("chaos: %d acknowledged entries lost", lost)
+	}
+	return nil
 }

@@ -2,15 +2,17 @@
 //
 // It starts the Nazar cloud service as an HTTP server on a loopback
 // port (exactly what cmd/nazard does), then drives a small device fleet
-// through the device-side client (what cmd/nazar-device does): pull the
-// base model, stream drifted inferences, report drift-log entries with
-// sampled uploads, trigger analysis, pull BN versions, install them, and
-// measure the recovery — all through the JSON/HTTP API.
+// through the resilient device-side transport (what cmd/nazar-device
+// does): pull the base model, stream drifted inferences through the
+// spooling/retrying transport.Client, trigger analysis, pull BN
+// versions, install them, and measure the recovery — all through the
+// JSON/HTTP API.
 //
 // Run with: go run ./examples/httpfleet
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -26,6 +28,7 @@ import (
 	"nazar/internal/metrics"
 	"nazar/internal/nn"
 	"nazar/internal/tensor"
+	"nazar/internal/transport"
 	"nazar/internal/weather"
 )
 
@@ -63,8 +66,25 @@ func main() {
 	fmt.Printf("cloud: nazard listening on %s\n", url)
 
 	// --- Device side (nazar-device) ---
-	client := httpapi.NewClient(url)
-	snap, err := client.Base()
+	// The resilient transport spools entries, batches them over the
+	// wire, and retries transient failures; terminal failures surface
+	// through OnDrop so lost telemetry is at least visible.
+	ctx := context.Background()
+	client := transport.New(url, transport.Config{
+		MaxBatch:      64,
+		FlushInterval: 200 * time.Millisecond,
+		OnDrop: func(e driftlog.Entry, reason string) {
+			log.Printf("devices: entry %v dropped (%s)", e.Time, reason)
+		},
+	})
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := client.Close(cctx); err != nil {
+			log.Printf("devices: transport close: %v", err)
+		}
+	}()
+	snap, err := client.Base(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,26 +123,30 @@ func main() {
 		if cond == "snow" {
 			before.Observe(inf.Predicted == class)
 		}
-		if err := client.Ingest(entry, sample); err != nil {
+		if err := client.Report(entry, sample); err != nil {
 			log.Fatal(err)
 		}
 	}
-	st, err := client.Status()
+	if err := client.Flush(ctx); err != nil {
+		log.Fatal(err)
+	}
+	st, err := client.Status(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("devices: streamed %d entries (%d samples uploaded); snowy accuracy %.1f%%\n",
-		st.LogRows, st.Samples, 100*before.Value())
+	tstats := client.Stats()
+	fmt.Printf("devices: streamed %d entries (%d samples uploaded, %d acked, %d retries); snowy accuracy %.1f%%\n",
+		st.LogRows, st.Samples, tstats.Acked, tstats.Retries, 100*before.Value())
 
-	// Trigger analysis and pull versions.
-	resp, err := client.Analyze(httpapi.AnalyzeRequest{Now: day.AddDate(0, 0, 1)})
+	// Trigger analysis and pull versions (retried like everything else).
+	resp, err := client.Analyze(ctx, httpapi.AnalyzeRequest{Now: day.AddDate(0, 0, 1)})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("cloud: causes %v, %d versions (rca %dms, adapt %dms)\n",
 		resp.Causes, len(resp.VersionIDs), resp.RCAMillis, resp.AdaptMs)
 
-	versions, err := client.Versions(time.Time{})
+	versions, err := client.Versions(ctx, time.Time{})
 	if err != nil {
 		log.Fatal(err)
 	}

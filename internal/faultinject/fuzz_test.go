@@ -1,0 +1,48 @@
+package faultinject
+
+import "testing"
+
+// FuzzParseSchedule checks two properties over arbitrary specs:
+//
+//  1. any spec ParseSchedule accepts also passes Validate — the parser
+//     never smuggles an invalid schedule past its own checks;
+//  2. String() of an accepted schedule re-parses to an equivalent
+//     schedule (modulo durations on zero-probability faults, which
+//     String deliberately omits).
+func FuzzParseSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"latency=0.1:5ms",
+		"err500=0.05",
+		"err429=0.02:1s",
+		"reset=0.03,truncate=0.02",
+		"latency=0.1:5ms,err500=0.05,err429=0.02:1s,reset=0.03,truncate=0.02",
+		"err500=1",
+		"err500=0.6,reset=0.6",
+		"err500=NaN",
+		"latency=0.1:0s",
+		"latency=1e-12:1ns",
+		"=0.5",
+		"err500",
+		"err500=0.1,err500=0.2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			return // rejected input: nothing more to check
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("ParseSchedule(%q) accepted an invalid schedule %+v: %v", spec, s, verr)
+		}
+		rendered := s.String()
+		back, err := ParseSchedule(rendered)
+		if err != nil {
+			t.Fatalf("String() of accepted schedule does not re-parse: %q → %q: %v", spec, rendered, err)
+		}
+		if normalizeSchedule(back) != normalizeSchedule(s) {
+			t.Fatalf("round-trip mismatch: %q → %+v → %q → %+v", spec, s, rendered, back)
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schedule is a probability schedule over injectable faults. Each
+// request makes one fault roll — at most one of Err500/Err429/Reset/
+// Truncate fires, chosen by cumulative probability — plus an
+// independent latency roll, so a request can be both slowed and
+// failed, exactly like a congested cell link.
+type Schedule struct {
+	// Latency is the probability of injecting LatencyDur of delay.
+	Latency float64
+	// LatencyDur is the injected delay (default 2ms).
+	LatencyDur time.Duration
+	// Err500 is the probability of answering 500 without reaching the
+	// handler (or synthesizing it client-side).
+	Err500 float64
+	// Err429 is the probability of answering 429 with a Retry-After of
+	// RetryAfter (default 1s).
+	Err429 float64
+	// RetryAfter is the Retry-After hint attached to injected 429s.
+	RetryAfter time.Duration
+	// Reset is the probability of a connection reset: the server
+	// aborts the response stream mid-flight.
+	Reset float64
+	// Truncate is the probability of truncating the response body.
+	Truncate float64
+}
+
+func (s Schedule) withDefaults() Schedule {
+	if s.LatencyDur <= 0 {
+		s.LatencyDur = 2 * time.Millisecond
+	}
+	if s.RetryAfter <= 0 {
+		s.RetryAfter = time.Second
+	}
+	return s
+}
+
+// Validate checks every probability is in [0,1] and the fault
+// probabilities (which share one roll) sum to at most 1.
+func (s Schedule) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"latency", s.Latency}, {"err500", s.Err500}, {"err429", s.Err429},
+		{"reset", s.Reset}, {"truncate", s.Truncate},
+	} {
+		if p.v < 0 || p.v > 1 || p.v != p.v {
+			return fmt.Errorf("faultinject: %s probability %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if sum := s.Err500 + s.Err429 + s.Reset + s.Truncate; sum > 1 {
+		return fmt.Errorf("faultinject: fault probabilities sum to %v > 1", sum)
+	}
+	if s.LatencyDur < 0 || s.RetryAfter < 0 {
+		return fmt.Errorf("faultinject: negative duration")
+	}
+	return nil
+}
+
+// FaultRate returns the total per-request fault probability (latency
+// excluded — a slow success is still a success).
+func (s Schedule) FaultRate() float64 { return s.Err500 + s.Err429 + s.Reset + s.Truncate }
+
+// Preset distributes a total fault rate over the fault classes in
+// fixed proportions (half hard 500s, the rest split between throttles,
+// resets and truncations) and adds latency at the same rate — the
+// shape used by the chaos harness presets.
+func Preset(rate float64) Schedule {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return Schedule{
+		Latency:    rate,
+		LatencyDur: 2 * time.Millisecond,
+		Err500:     0.5 * rate,
+		Err429:     0.2 * rate,
+		RetryAfter: time.Millisecond,
+		Reset:      0.2 * rate,
+		Truncate:   0.1 * rate,
+	}
+}
+
+// String renders the schedule in the ParseSchedule syntax (keys in
+// fixed order, zero-probability faults omitted, "" when empty).
+func (s Schedule) String() string {
+	var parts []string
+	add := func(key string, p float64, d time.Duration, showDur bool) {
+		if p == 0 {
+			return
+		}
+		part := key + "=" + strconv.FormatFloat(p, 'g', -1, 64)
+		if showDur {
+			part += ":" + d.String()
+		}
+		parts = append(parts, part)
+	}
+	add("latency", s.Latency, s.LatencyDur, s.LatencyDur > 0)
+	add("err500", s.Err500, 0, false)
+	add("err429", s.Err429, s.RetryAfter, s.RetryAfter > 0)
+	add("reset", s.Reset, 0, false)
+	add("truncate", s.Truncate, 0, false)
+	return strings.Join(parts, ",")
+}
+
+// ParseSchedule parses the compact schedule syntax used by flags and
+// config files:
+//
+//	latency=0.1:5ms,err500=0.05,err429=0.02:1s,reset=0.03,truncate=0.02
+//
+// Each clause is fault=probability, optionally :duration (the injected
+// delay for latency, the Retry-After hint for err429). Clauses may
+// appear in any order; a repeated fault is an error, as is any
+// probability outside [0,1]. The empty string is the no-fault schedule.
+func ParseSchedule(spec string) (Schedule, error) {
+	var s Schedule
+	if strings.TrimSpace(spec) == "" {
+		return s, nil
+	}
+	seen := map[string]bool{}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		key, rest, ok := strings.Cut(clause, "=")
+		if !ok || key == "" {
+			return Schedule{}, fmt.Errorf("faultinject: clause %q is not fault=probability", clause)
+		}
+		if seen[key] {
+			return Schedule{}, fmt.Errorf("faultinject: fault %q repeated", key)
+		}
+		seen[key] = true
+		probStr, durStr, hasDur := strings.Cut(rest, ":")
+		prob, err := strconv.ParseFloat(probStr, 64)
+		if err != nil {
+			return Schedule{}, fmt.Errorf("faultinject: fault %q: bad probability %q", key, probStr)
+		}
+		var dur time.Duration
+		if hasDur {
+			dur, err = time.ParseDuration(durStr)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("faultinject: fault %q: bad duration %q", key, durStr)
+			}
+			if dur <= 0 {
+				return Schedule{}, fmt.Errorf("faultinject: fault %q: non-positive duration %q", key, durStr)
+			}
+		}
+		switch key {
+		case "latency":
+			s.Latency, s.LatencyDur = prob, dur
+		case "err500":
+			s.Err500 = prob
+		case "err429":
+			s.Err429, s.RetryAfter = prob, dur
+		case "reset":
+			s.Reset = prob
+		case "truncate":
+			s.Truncate = prob
+		default:
+			return Schedule{}, fmt.Errorf("faultinject: unknown fault %q (known: %s)",
+				key, strings.Join(knownFaults(), ", "))
+		}
+		if hasDur && key != "latency" && key != "err429" {
+			return Schedule{}, fmt.Errorf("faultinject: fault %q takes no duration", key)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+func knownFaults() []string {
+	fs := []string{"latency", "err500", "err429", "reset", "truncate"}
+	sort.Strings(fs)
+	return fs
+}

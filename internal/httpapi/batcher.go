@@ -74,6 +74,11 @@ func (b *Batcher) Add(entry driftlog.Entry, sample []float64) error {
 		return b.ship(entries, samples, anySample)
 	}
 	if b.timer == nil && b.cfg.FlushInterval > 0 {
+		// The WaitGroup must be incremented before the timer is armed
+		// (not inside timedFlush): otherwise Close can observe a zero
+		// counter between the timer firing and timedFlush starting, and
+		// return while a flush is still in flight.
+		b.flushWG.Add(1)
 		b.timer = time.AfterFunc(b.cfg.FlushInterval, b.timedFlush)
 	}
 	b.mu.Unlock()
@@ -108,12 +113,17 @@ func (b *Batcher) Pending() int {
 }
 
 // takeLocked detaches the current buffer (caller holds b.mu) and stops
-// the pending timer.
+// the pending timer. When Stop reports the timer had not fired yet,
+// timedFlush will never run for it, so its WaitGroup slot is released
+// here; when it had already fired, timedFlush owns the slot and will
+// release it itself (and find an empty buffer if we won the race).
 func (b *Batcher) takeLocked() ([]driftlog.Entry, [][]float64, bool) {
 	entries, samples, anySample := b.entries, b.samples, b.anySample
 	b.entries, b.samples, b.anySample = nil, nil, false
 	if b.timer != nil {
-		b.timer.Stop()
+		if b.timer.Stop() {
+			b.flushWG.Done()
+		}
 		b.timer = nil
 	}
 	return entries, samples, anySample
@@ -131,9 +141,10 @@ func (b *Batcher) ship(entries []driftlog.Entry, samples [][]float64, anySample 
 	return err
 }
 
-// timedFlush runs on the timer goroutine; errors go to OnError.
+// timedFlush runs on the timer goroutine; errors go to OnError. Its
+// WaitGroup slot was taken when the timer was armed, so a concurrent
+// Close blocks until this flush (including the ship) completes.
 func (b *Batcher) timedFlush() {
-	b.flushWG.Add(1)
 	defer b.flushWG.Done()
 	b.mu.Lock()
 	entries, samples, anySample := b.takeLocked()

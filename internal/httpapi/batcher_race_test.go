@@ -1,0 +1,93 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"nazar/internal/cloud"
+	"nazar/internal/driftlog"
+	"nazar/internal/nn"
+	"nazar/internal/tensor"
+	"nazar/internal/weather"
+)
+
+// TestBatcherCloseRaceStress hammers the flush-on-close protocol: many
+// goroutines Add while Close runs mid-stream, with a flush interval
+// short enough that timed flushes race both. Every entry whose Add
+// succeeded must land on the server exactly once — a timed flush in
+// flight when Close returns may neither be lost nor double-shipped.
+// Run under -race; the WaitGroup handoff in Add/takeLocked is exactly
+// what this test is for.
+func TestBatcherCloseRaceStress(t *testing.T) {
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 2, tensor.NewRand(7, 1))
+	svc := cloud.NewService(base, cloud.DefaultConfig())
+	srv := httptest.NewServer(NewServer(svc))
+	t.Cleanup(srv.Close)
+	c := NewClient(srv.URL)
+
+	const (
+		rounds     = 4
+		goroutines = 8
+		perG       = 24
+	)
+	day := weather.Day(2)
+	for round := 0; round < rounds; round++ {
+		b := NewBatcher(c, BatcherConfig{
+			MaxBatch:      4,
+			FlushInterval: time.Millisecond, // timed flushes race Adds and Close
+			OnError:       func(err error) { t.Errorf("timed flush failed: %v", err) },
+		})
+		before := svc.Log().Len()
+
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					e := driftlog.Entry{
+						Time: day.Add(time.Duration(i) * time.Second),
+						Attrs: map[string]string{
+							driftlog.AttrDevice: fmt.Sprintf("r%d_g%d_i%d", round, g, i),
+						},
+					}
+					if err := b.Add(e, nil); err != nil {
+						t.Errorf("Add: %v", err)
+					}
+					if i == perG/2 && g == 0 {
+						// Close mid-stream from one producer: later Adds
+						// (here and on sibling goroutines) ship unbatched.
+						if err := b.Close(); err != nil {
+							t.Errorf("Close: %v", err)
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		// Close is idempotent for delivery purposes: everything already
+		// shipped, so a final Close must not produce duplicates.
+		if err := b.Close(); err != nil {
+			t.Fatalf("final Close: %v", err)
+		}
+
+		log := svc.Log()
+		got := map[string]int{}
+		for i := before; i < log.Len(); i++ {
+			got[log.Entry(i).Attrs[driftlog.AttrDevice]]++
+		}
+		want := goroutines * perG
+		if len(got) != want || log.Len()-before != want {
+			t.Fatalf("round %d: server has %d entries (%d unique), want %d exactly-once",
+				round, log.Len()-before, len(got), want)
+		}
+		for k, n := range got {
+			if n != 1 {
+				t.Fatalf("round %d: entry %s delivered %d times, want exactly once", round, k, n)
+			}
+		}
+	}
+}

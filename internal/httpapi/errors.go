@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // Error codes carried in the error envelope. Codes are the stable,
@@ -41,6 +43,10 @@ type APIError struct {
 	Code string `json:"code"`
 	// Message is the human-readable description.
 	Message string `json:"message"`
+	// RetryAfter is the parsed Retry-After response header (0 when the
+	// server sent none): the server's own backpressure hint, which
+	// retrying clients must honor over their local backoff schedule.
+	RetryAfter time.Duration `json:"-"`
 }
 
 // Error implements error.
@@ -78,4 +84,25 @@ func decodeAPIError(status int, body []byte) *APIError {
 		msg = http.StatusText(status)
 	}
 	return &APIError{Status: status, Code: CodeInternal, Message: msg}
+}
+
+// parseRetryAfter parses a Retry-After header value: delta-seconds or
+// an HTTP-date (resolved against now). Unparseable or past values are
+// 0 — "no hint".
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }

@@ -685,8 +685,11 @@ func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 	return resp, nil
 }
 
-// apiError decodes a non-2xx response into an *APIError.
+// apiError decodes a non-2xx response into an *APIError, carrying the
+// Retry-After backpressure hint when the server sent one.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	return decodeAPIError(resp.StatusCode, bytes.TrimSpace(body))
+	apiErr := decodeAPIError(resp.StatusCode, bytes.TrimSpace(body))
+	apiErr.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+	return apiErr
 }

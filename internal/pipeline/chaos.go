@@ -1,0 +1,280 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strconv"
+	"time"
+
+	"nazar/internal/cloud"
+	"nazar/internal/device"
+	"nazar/internal/driftlog"
+	"nazar/internal/faultinject"
+	"nazar/internal/httpapi"
+	"nazar/internal/imagesim"
+	"nazar/internal/nn"
+	"nazar/internal/tensor"
+	"nazar/internal/transport"
+	"nazar/internal/weather"
+)
+
+// ChaosConfig parameterizes one chaos-harness run: a small fleet
+// streams inferences to a real httpapi server through the resilient
+// transport while a seeded fault injector corrupts the wire.
+type ChaosConfig struct {
+	// FaultRate is the total per-request fault probability; the
+	// schedule is faultinject.Preset(FaultRate) unless Schedule is set.
+	FaultRate float64
+	// Schedule overrides the preset-derived fault schedule.
+	Schedule *faultinject.Schedule
+	// Devices is the fleet size (default 3).
+	Devices int
+	// PerDevice is the number of inferences each device streams
+	// (default 40).
+	PerDevice int
+	// Windows is the number of analysis/adaptation cycles the stream is
+	// split into (default 2).
+	Windows int
+	// Seed drives every PRNG in the run: the world, the fleet, the
+	// fault injector and the transport's backoff jitter.
+	Seed uint64
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Devices <= 0 {
+		c.Devices = 3
+	}
+	if c.PerDevice <= 0 {
+		c.PerDevice = 40
+	}
+	if c.Windows <= 0 {
+		c.Windows = 2
+	}
+	return c
+}
+
+// ChaosResult is the harness's verdict, JSON-ready for `make chaos`.
+type ChaosResult struct {
+	FaultRate float64 `json:"fault_rate"`
+	// Streamed counts entries handed to transport.Client.Report.
+	Streamed int `json:"streamed"`
+	// Acked counts entries the transport confirmed delivered to the
+	// caller (OnAck).
+	Acked int `json:"acked"`
+	// SpoolDropped counts entries evicted from a full spool (never
+	// acked — allowed to be lost).
+	SpoolDropped int `json:"spool_dropped"`
+	// Delivered counts distinct streamed entries present in the cloud
+	// drift log after the run.
+	Delivered int `json:"delivered"`
+	// Duplicates counts redundant log rows from at-least-once retries.
+	Duplicates int `json:"duplicates"`
+	// LostAcked counts entries acked to the caller but absent from the
+	// cloud log. The delivery invariant: always zero.
+	LostAcked int `json:"lost_acked"`
+	// DeliveryRate is Delivered / Streamed.
+	DeliveryRate float64 `json:"delivery_rate"`
+	// Retries and BreakerOpens are the transport's recovery effort.
+	Retries      uint64 `json:"retries"`
+	BreakerOpens uint64 `json:"breaker_opens"`
+	// Requests counts HTTP requests that reached the fault injector;
+	// InjectedFaults breaks down what it did to them.
+	Requests       int               `json:"requests"`
+	InjectedFaults map[string]uint64 `json:"injected_faults"`
+	// AnalyzeOK counts analysis cycles that completed through the
+	// faulty wire; Versions is the adapted-version count installed on
+	// the fleet afterwards (adaptation invariant: at fault rate 0 the
+	// run must analyze and install versions like a clean pipeline run).
+	AnalyzeOK int `json:"analyze_ok"`
+	Versions  int `json:"versions"`
+}
+
+// chaosAttrSeq is the per-entry identity attribute the harness stamps
+// on every streamed entry so delivery can be audited row by row.
+const chaosAttrSeq = "chaos_seq"
+
+// RunChaos streams a fleet through fault-injected HTTP and audits the
+// at-least-once contract: every entry acked by the transport must be
+// present in the cloud's drift log, no matter what the wire did.
+//
+// The run is time-compressed: backoff delays are capped in the low
+// milliseconds and injected Retry-After hints are honored through a
+// capped sleeper, so even a 30% fault rate finishes in well under a
+// second while still exercising retries, breaker trips and the spool.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
+	cfg = cfg.withDefaults()
+	sched := faultinject.Preset(cfg.FaultRate)
+	if cfg.Schedule != nil {
+		sched = *cfg.Schedule
+	}
+	sched.LatencyDur = time.Millisecond
+
+	world := imagesim.NewWorld(imagesim.DefaultConfig(4, cfg.Seed))
+	base := nn.NewClassifier(nn.ArchResNet18, world.Dim(), 4, tensor.NewRand(cfg.Seed, 1))
+	svcCfg := cloud.DefaultConfig()
+	svcCfg.MinSamplesPerCause = 8
+	svcCfg.AdaptCfg.Epochs = 1
+	svc := cloud.NewService(base, svcCfg)
+
+	injector := faultinject.New(faultinject.Config{Seed: cfg.Seed, Schedule: sched})
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	// The injector mounts OUTSIDE the API server's middleware chain so
+	// injected aborts bypass its panic recovery and reach the client as
+	// genuine connection failures.
+	ts := httptest.NewServer(injector.Middleware()(httpapi.NewServer(svc, httpapi.WithLogger(quiet))))
+	defer ts.Close()
+
+	ackedSeqs := map[string]int{}
+	client := transport.New(ts.URL, transport.Config{
+		MaxBatch:       8,
+		FlushInterval:  time.Hour, // explicit Flush only: keeps the run deterministic
+		RequestTimeout: 2 * time.Second,
+		MaxAttempts:    10,
+		SpoolCapacity:  cfg.Devices * cfg.PerDevice, // losses come from the wire, not the spool
+		Backoff:        transport.BackoffConfig{Base: time.Millisecond, Max: 4 * time.Millisecond},
+		Breaker:        transport.BreakerConfig{Threshold: 5, Cooldown: 2 * time.Millisecond},
+		Seed:           cfg.Seed,
+		Name:           fmt.Sprintf("chaos_%d", cfg.Seed),
+		Logger:         quiet,
+		Sleep:          cappedSleep(5 * time.Millisecond),
+		OnAck: func(entries []driftlog.Entry) {
+			for _, e := range entries {
+				ackedSeqs[e.Attrs[chaosAttrSeq]]++
+			}
+		},
+	})
+
+	rng := tensor.NewRand(cfg.Seed, 0xC4A05)
+	fleet := make([]*device.Device, cfg.Devices)
+	for i := range fleet {
+		fleet[i] = device.New(device.Config{
+			ID:         fmt.Sprintf("chaos_dev_%d", i),
+			Location:   "chaos",
+			SampleRate: 1,
+			Rng:        tensor.NewRand(cfg.Seed^uint64(i), 0xD),
+		}, base)
+	}
+
+	res := &ChaosResult{FaultRate: sched.FaultRate()}
+	start := weather.Day(0)
+	step := time.Minute
+	perWindow := (cfg.PerDevice + cfg.Windows - 1) / cfg.Windows
+	seq := 0
+	ctx := context.Background()
+	var lastVersions time.Time
+
+	for w := 0; w < cfg.Windows; w++ {
+		from := start.Add(time.Duration(w*perWindow) * step)
+		var to time.Time
+		for i := 0; i < perWindow && w*perWindow+i < cfg.PerDevice; i++ {
+			tick := w*perWindow + i
+			to = start.Add(time.Duration(tick+1) * step)
+			for _, dev := range fleet {
+				class := rng.IntN(4)
+				x := world.Sample(class, rng)
+				cond := "clear"
+				if tick%2 == 1 {
+					x = world.Corrupt(x, imagesim.Snow, imagesim.DefaultSeverity, rng)
+					cond = "snow"
+				}
+				_, entry, sample := dev.Infer(start.Add(time.Duration(tick)*step), x, map[string]string{
+					driftlog.AttrWeather: cond,
+					chaosAttrSeq:         strconv.Itoa(seq),
+				})
+				// The harness audits the transport, not the detector: stamp
+				// ground-truth drift so analysis finds the snow cause even
+				// though the tiny base model is untrained.
+				entry.Drift = cond == "snow"
+				seq++
+				res.Streamed++
+				if err := client.Report(entry, sample); err != nil {
+					return nil, fmt.Errorf("chaos: report: %w", err)
+				}
+			}
+		}
+		if err := client.Flush(ctx); err != nil {
+			return nil, fmt.Errorf("chaos: window %d flush: %w", w, err)
+		}
+		// Control plane through the same faulty wire: analyze the window
+		// and install whatever versions the cloud adapted.
+		if _, err := client.Analyze(ctx, httpapi.AnalyzeRequest{From: from, To: to, Now: to}); err != nil {
+			return nil, fmt.Errorf("chaos: window %d analyze: %w", w, err)
+		}
+		res.AnalyzeOK++
+		versions, err := client.Versions(ctx, lastVersions)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: window %d versions: %w", w, err)
+		}
+		lastVersions = to
+		for _, v := range versions {
+			for _, dev := range fleet {
+				if err := dev.Pool.Install(v, to); err != nil {
+					return nil, fmt.Errorf("chaos: install: %w", err)
+				}
+			}
+		}
+	}
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := client.Close(cctx); err != nil {
+		return nil, fmt.Errorf("chaos: close: %w", err)
+	}
+
+	// Audit: every acked entry must be present in the cloud log.
+	st := client.Stats()
+	res.Acked = int(st.Acked)
+	res.SpoolDropped = int(st.SpoolDropped)
+	res.Retries = st.Retries
+	res.BreakerOpens = st.BreakerOpens
+	log := svc.Log()
+	present := map[string]int{}
+	for i := 0; i < log.Len(); i++ {
+		if s, ok := log.Entry(i).Attrs[chaosAttrSeq]; ok {
+			present[s]++
+		}
+	}
+	res.Delivered = len(present)
+	for _, n := range present {
+		res.Duplicates += n - 1
+	}
+	for s := range ackedSeqs {
+		if present[s] == 0 {
+			res.LostAcked++
+		}
+	}
+	if res.Streamed > 0 {
+		res.DeliveryRate = float64(res.Delivered) / float64(res.Streamed)
+	}
+	res.Requests = injector.Requests()
+	res.InjectedFaults = map[string]uint64{}
+	for f, n := range injector.Counts() {
+		res.InjectedFaults[string(f)] = n
+	}
+	for _, dev := range fleet {
+		if n := dev.Pool.Len(); n > res.Versions {
+			res.Versions = n
+		}
+	}
+	return res, nil
+}
+
+// cappedSleep is a context-aware sleeper that compresses long delays
+// (e.g. injected whole-second Retry-After hints) into test time.
+func cappedSleep(limit time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		if d > limit {
+			d = limit
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestChaosDeliveryInvariant runs the chaos harness at the three
+// `make chaos` presets. The hard invariant at every fault rate:
+// zero acked-but-lost entries — at-least-once delivery holds no matter
+// what the injector does to the wire. At rate 0 the run must also look
+// like a clean pipeline: everything streamed is acked and delivered
+// exactly once with no retries, and analysis installs versions.
+func TestChaosDeliveryInvariant(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rate float64
+	}{
+		{"clean", 0},
+		{"faults_10pct", 0.1},
+		{"faults_30pct", 0.3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := RunChaos(ChaosConfig{FaultRate: tc.rate, Seed: 11})
+			if err != nil {
+				t.Fatalf("RunChaos(%v): %v", tc.rate, err)
+			}
+			if out, err := json.Marshal(res); err == nil {
+				t.Logf("chaos result: %s", out)
+			}
+
+			// The invariant: nothing acked to the caller went missing.
+			if res.LostAcked != 0 {
+				t.Fatalf("LOST %d acknowledged entries at fault rate %v", res.LostAcked, tc.rate)
+			}
+			// Acked entries are a subset of delivered ones, and with the
+			// spool sized to the run nothing is dropped client-side.
+			if res.SpoolDropped != 0 {
+				t.Fatalf("spool dropped %d entries; the harness sizes the spool to the run", res.SpoolDropped)
+			}
+			if res.Acked > res.Delivered {
+				t.Fatalf("acked %d > delivered %d", res.Acked, res.Delivered)
+			}
+			if res.AnalyzeOK != 2 {
+				t.Fatalf("completed %d analysis cycles, want 2", res.AnalyzeOK)
+			}
+
+			if tc.rate == 0 {
+				if res.Acked != res.Streamed || res.Delivered != res.Streamed {
+					t.Fatalf("clean run: streamed=%d acked=%d delivered=%d, want all equal",
+						res.Streamed, res.Acked, res.Delivered)
+				}
+				if res.Retries != 0 || res.Duplicates != 0 || res.BreakerOpens != 0 {
+					t.Fatalf("clean run saw retries=%d duplicates=%d breakerOpens=%d, want none",
+						res.Retries, res.Duplicates, res.BreakerOpens)
+				}
+				if res.Versions == 0 {
+					t.Fatal("clean run installed no adapted versions")
+				}
+			} else {
+				// With faults on the wire, delivery still completes: the
+				// transport retried every entry to acknowledgment.
+				if res.Acked != res.Streamed {
+					t.Fatalf("faulty run: acked %d of %d streamed — transport gave up on entries",
+						res.Acked, res.Streamed)
+				}
+				injured := res.InjectedFaults["err500"] + res.InjectedFaults["err429"] +
+					res.InjectedFaults["reset"] + res.InjectedFaults["truncate"]
+				if injured > 0 && res.Retries == 0 {
+					t.Fatalf("%d requests were failed by the injector but the transport never retried", injured)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosDeterminism: the same seed reproduces the same run — fault
+// trace, delivery counts, retries — which is what makes a failing
+// chaos run debuggable.
+func TestChaosDeterminism(t *testing.T) {
+	run := func() *ChaosResult {
+		res, err := RunChaos(ChaosConfig{FaultRate: 0.3, Seed: 7, Devices: 2, PerDevice: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("same seed produced different chaos results:\n  %s\n  %s", ja, jb)
+	}
+}

@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// BackoffConfig parameterizes the jittered exponential retry schedule.
+type BackoffConfig struct {
+	// Base is the delay before the first retry (default 100ms).
+	Base time.Duration
+	// Max caps the computed delay (default 10s). A server-supplied
+	// Retry-After longer than Max is still honored: the server knows
+	// better than the client when it will be ready again.
+	Max time.Duration
+	// Factor is the per-attempt multiplier (default 2).
+	Factor float64
+	// Jitter spreads each delay uniformly over ±Jitter fraction of its
+	// value (default 0.2), decorrelating a fleet of devices that all
+	// lost connectivity at the same moment. Negative disables jitter
+	// (tests use that for exact schedules); values above 1 are capped.
+	Jitter float64
+}
+
+func (c BackoffConfig) withDefaults() BackoffConfig {
+	if c.Base <= 0 {
+		c.Base = 100 * time.Millisecond
+	}
+	if c.Max <= 0 {
+		c.Max = 10 * time.Second
+	}
+	if c.Factor < 1 {
+		c.Factor = 2
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.2
+	}
+	if c.Jitter < 0 {
+		c.Jitter = 0
+	}
+	if c.Jitter > 1 {
+		c.Jitter = 1
+	}
+	return c
+}
+
+// backoff computes retry delays. Safe for concurrent use; the jitter
+// stream is a private seeded PRNG so tests are deterministic.
+type backoff struct {
+	cfg BackoffConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newBackoff(cfg BackoffConfig, seed uint64) *backoff {
+	return &backoff{cfg: cfg.withDefaults(), rng: rand.New(rand.NewSource(int64(seed)))}
+}
+
+// Delay returns how long to wait before retry number attempt (0-based:
+// attempt 0 is the delay after the first failure). A positive
+// retryAfter (the server's Retry-After header) overrides the computed
+// schedule whenever it is longer — it is used exactly, without jitter,
+// because the server named a specific time.
+func (b *backoff) Delay(attempt int, retryAfter time.Duration) time.Duration {
+	d := float64(b.cfg.Base) * math.Pow(b.cfg.Factor, float64(attempt))
+	if d > float64(b.cfg.Max) {
+		d = float64(b.cfg.Max)
+	}
+	if b.cfg.Jitter > 0 {
+		b.mu.Lock()
+		u := b.rng.Float64()
+		b.mu.Unlock()
+		d *= 1 - b.cfg.Jitter + 2*b.cfg.Jitter*u
+	}
+	if retryAfter > time.Duration(d) {
+		return retryAfter
+	}
+	return time.Duration(d)
+}

@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedule is the table-driven schedule test: with jitter
+// disabled the delays are an exact exponential ramp capped at Max, and
+// a Retry-After hint overrides the computed delay whenever longer.
+func TestBackoffSchedule(t *testing.T) {
+	tests := []struct {
+		name       string
+		cfg        BackoffConfig
+		attempt    int
+		retryAfter time.Duration
+		want       time.Duration
+	}{
+		{"first retry", BackoffConfig{Base: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2}, 0, 0, 100 * time.Millisecond},
+		{"second retry doubles", BackoffConfig{Base: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2}, 1, 0, 200 * time.Millisecond},
+		{"fifth retry", BackoffConfig{Base: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2}, 4, 0, 1600 * time.Millisecond},
+		{"capped at max", BackoffConfig{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2}, 10, 0, time.Second},
+		{"factor 3", BackoffConfig{Base: 10 * time.Millisecond, Max: 10 * time.Second, Factor: 3}, 2, 0, 90 * time.Millisecond},
+		{"retry-after longer wins exactly", BackoffConfig{Base: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2}, 0, 3 * time.Second, 3 * time.Second},
+		{"retry-after beats the max cap", BackoffConfig{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2}, 10, 30 * time.Second, 30 * time.Second},
+		{"retry-after shorter ignored", BackoffConfig{Base: 400 * time.Millisecond, Max: 10 * time.Second, Factor: 2}, 1, 100 * time.Millisecond, 800 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := tt.cfg
+			cfg.Jitter = -1 // exact schedule: jitter off
+			b := newBackoff(cfg, 1)
+			if got := b.Delay(tt.attempt, tt.retryAfter); got != tt.want {
+				t.Fatalf("Delay(%d, %v) = %v, want %v", tt.attempt, tt.retryAfter, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestBackoffJitterBoundsAndDeterminism: jittered delays stay within
+// ±Jitter of the nominal value, and equal seeds produce equal streams.
+func TestBackoffJitterBoundsAndDeterminism(t *testing.T) {
+	cfg := BackoffConfig{Base: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2, Jitter: 0.2}
+	a, b := newBackoff(cfg, 42), newBackoff(cfg, 42)
+	other := newBackoff(cfg, 43)
+	sawDifferent := false
+	for attempt := 0; attempt < 50; attempt++ {
+		da, db := a.Delay(attempt%6, 0), b.Delay(attempt%6, 0)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", attempt, da, db)
+		}
+		if other.Delay(attempt%6, 0) != da {
+			sawDifferent = true
+		}
+		nominal := float64(100*time.Millisecond) * pow2(attempt%6)
+		if nominal > float64(10*time.Second) {
+			nominal = float64(10 * time.Second)
+		}
+		lo, hi := time.Duration(0.8*nominal), time.Duration(1.2*nominal)
+		if da < lo || da > hi {
+			t.Fatalf("attempt %d: delay %v outside jitter bounds [%v, %v]", attempt, da, lo, hi)
+		}
+	}
+	if !sawDifferent {
+		t.Fatal("different seeds never diverged — jitter PRNG not seeded")
+	}
+}
+
+func pow2(n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= 2
+	}
+	return out
+}
+
+// TestBackoffDefaults: the zero config resolves to sane production
+// values rather than zero delays.
+func TestBackoffDefaults(t *testing.T) {
+	b := newBackoff(BackoffConfig{}, 1)
+	if d := b.Delay(0, 0); d < 80*time.Millisecond || d > 120*time.Millisecond {
+		t.Fatalf("default first delay %v, want ~100ms", d)
+	}
+	if d := b.Delay(20, 0); d > 12*time.Second {
+		t.Fatalf("default capped delay %v, want ≤ ~10s", d)
+	}
+}

@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit-breaker state.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes requests through (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen admits exactly one probe request; its outcome
+	// decides between closing and re-opening.
+	BreakerHalfOpen
+	// BreakerOpen fails fast until the cooldown elapses.
+	BreakerOpen
+)
+
+// String renders the state for logs and metrics.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig parameterizes the consecutive-failure circuit breaker.
+type BreakerConfig struct {
+	// Threshold opens the breaker after this many consecutive failures
+	// (default 5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// breaker is a consecutive-failure circuit breaker with half-open
+// probes. State machine:
+//
+//	closed    --[Threshold consecutive failures]--> open
+//	open      --[Cooldown elapsed, next Allow]----> half-open (1 probe)
+//	half-open --[probe success]-------------------> closed
+//	half-open --[probe failure]-------------------> open (cooldown restarts)
+//
+// Any success in closed resets the failure count. Safe for concurrent
+// use; now is injected so the transition table is testable without
+// sleeping.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	opens    uint64 // cumulative closed/half-open -> open transitions
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), now: now}
+}
+
+// Allow reports whether a request may proceed, transitioning
+// open→half-open when the cooldown has elapsed. In half-open only the
+// call that performed the transition is admitted; concurrent callers
+// are rejected until the probe resolves via Success or Failure.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// Success records a successful request.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+}
+
+// Failure records a failed request, opening the breaker at the
+// threshold or on a failed half-open probe. It reports whether this
+// failure transitioned the breaker to open.
+func (b *breaker) Failure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.open()
+		return true
+	}
+	b.fails++
+	if b.state == BreakerClosed && b.fails >= b.cfg.Threshold {
+		b.open()
+		return true
+	}
+	return false
+}
+
+// open transitions to BreakerOpen (caller holds b.mu).
+func (b *breaker) open() {
+	b.state = BreakerOpen
+	b.fails = 0
+	b.openedAt = b.now()
+	b.opens++
+}
+
+// State returns the current state without transitioning it.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns the cumulative number of times the breaker opened.
+func (b *breaker) Opens() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// NextAllowed returns the earliest time a request could be admitted:
+// now when closed (or a half-open probe is pending resolution), or the
+// end of the cooldown when open.
+func (b *breaker) NextAllowed() time.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		return b.openedAt.Add(b.cfg.Cooldown)
+	}
+	return b.now()
+}

@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestBreakerTransitionTable drives the state machine through every
+// documented transition on a fake clock.
+func TestBreakerTransitionTable(t *testing.T) {
+	const threshold = 3
+	cooldown := 10 * time.Second
+
+	// noCheck marks steps that only set up state.
+	const noCheck = BreakerState(-1)
+	type step struct {
+		op        string        // "fail", "ok", "allow", "deny", "advance"
+		d         time.Duration // for advance
+		wantState BreakerState  // checked after the op unless noCheck
+	}
+	tests := []struct {
+		name  string
+		steps []step
+	}{
+		{"stays closed below threshold", []step{
+			{op: "fail", wantState: BreakerClosed},
+			{op: "fail", wantState: BreakerClosed},
+			{op: "allow", wantState: BreakerClosed},
+		}},
+		{"success resets the failure count", []step{
+			{op: "fail", wantState: BreakerClosed},
+			{op: "fail", wantState: BreakerClosed},
+			{op: "ok", wantState: BreakerClosed},
+			{op: "fail", wantState: BreakerClosed},
+			{op: "fail", wantState: BreakerClosed},
+			{op: "allow", wantState: BreakerClosed},
+		}},
+		{"threshold consecutive failures open", []step{
+			{op: "fail", wantState: BreakerClosed},
+			{op: "fail", wantState: BreakerClosed},
+			{op: "fail", wantState: BreakerOpen},
+			{op: "deny", wantState: BreakerOpen},
+		}},
+		{"open admits a probe after cooldown", []step{
+			{op: "fail"}, {op: "fail"}, {op: "fail", wantState: BreakerOpen},
+			{op: "advance", d: 9 * time.Second, wantState: BreakerOpen},
+			{op: "deny", wantState: BreakerOpen},
+			{op: "advance", d: time.Second, wantState: BreakerOpen},
+			{op: "allow", wantState: BreakerHalfOpen},
+		}},
+		{"half-open admits exactly one probe", []step{
+			{op: "fail"}, {op: "fail"}, {op: "fail", wantState: BreakerOpen},
+			{op: "advance", d: 10 * time.Second, wantState: BreakerOpen},
+			{op: "allow", wantState: BreakerHalfOpen},
+			{op: "deny", wantState: BreakerHalfOpen},
+		}},
+		{"probe success closes", []step{
+			{op: "fail"}, {op: "fail"}, {op: "fail", wantState: BreakerOpen},
+			{op: "advance", d: 10 * time.Second, wantState: BreakerOpen},
+			{op: "allow", wantState: BreakerHalfOpen},
+			{op: "ok", wantState: BreakerClosed},
+			{op: "allow", wantState: BreakerClosed},
+		}},
+		{"probe failure reopens and restarts cooldown", []step{
+			{op: "fail"}, {op: "fail"}, {op: "fail", wantState: BreakerOpen},
+			{op: "advance", d: 10 * time.Second, wantState: BreakerOpen},
+			{op: "allow", wantState: BreakerHalfOpen},
+			{op: "fail", wantState: BreakerOpen},
+			{op: "advance", d: 9 * time.Second, wantState: BreakerOpen},
+			{op: "deny", wantState: BreakerOpen},
+			{op: "advance", d: time.Second, wantState: BreakerOpen},
+			{op: "allow", wantState: BreakerHalfOpen},
+		}},
+		{"closed-after-recovery needs full threshold again", []step{
+			{op: "fail"}, {op: "fail"}, {op: "fail", wantState: BreakerOpen},
+			{op: "advance", d: 10 * time.Second, wantState: BreakerOpen},
+			{op: "allow", wantState: BreakerHalfOpen}, {op: "ok", wantState: BreakerClosed},
+			{op: "fail", wantState: BreakerClosed},
+			{op: "fail", wantState: BreakerClosed},
+			{op: "fail", wantState: BreakerOpen},
+		}},
+	}
+
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			clock := newFakeClock()
+			b := newBreaker(BreakerConfig{Threshold: threshold, Cooldown: cooldown}, clock.Now)
+			for i, s := range tt.steps {
+				switch s.op {
+				case "fail":
+					b.Failure()
+				case "ok":
+					b.Success()
+				case "allow":
+					if !b.Allow() {
+						t.Fatalf("step %d: Allow() = false, want true", i)
+					}
+				case "deny":
+					if b.Allow() {
+						t.Fatalf("step %d: Allow() = true, want false", i)
+					}
+				case "advance":
+					clock.Advance(s.d)
+				}
+				if s.wantState == noCheck {
+					continue
+				}
+				if got := b.State(); got != s.wantState {
+					t.Fatalf("step %d (%s): state = %v, want %v", i, s.op, got, s.wantState)
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerOpensCounterAndNextAllowed covers the observability
+// surface the transport metrics read.
+func TestBreakerOpensCounterAndNextAllowed(t *testing.T) {
+	clock := newFakeClock()
+	b := newBreaker(BreakerConfig{Threshold: 2, Cooldown: 5 * time.Second}, clock.Now)
+
+	if got := b.NextAllowed(); !got.Equal(clock.Now()) {
+		t.Fatalf("closed NextAllowed = %v, want now", got)
+	}
+	b.Failure()
+	if b.Failure() != true {
+		t.Fatal("threshold failure should report the open transition")
+	}
+	if got, want := b.NextAllowed(), clock.Now().Add(5*time.Second); !got.Equal(want) {
+		t.Fatalf("open NextAllowed = %v, want %v", got, want)
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("Opens = %d, want 1", b.Opens())
+	}
+	clock.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	if b.Failure() != true {
+		t.Fatal("failed probe should report the reopen transition")
+	}
+	if b.Opens() != 2 {
+		t.Fatalf("Opens = %d, want 2", b.Opens())
+	}
+}

@@ -1,0 +1,40 @@
+package transport
+
+import "nazar/internal/obs"
+
+// clientMetrics are the transport instruments. Every client registers
+// under a `client` label so multiple clients (e.g. a per-tenant fleet
+// uploader and a control-plane poller) can share one registry without
+// colliding.
+type clientMetrics struct {
+	retries      *obs.Counter
+	acked        *obs.Counter
+	droppedSpool *obs.Counter
+	rejected     *obs.Counter
+	breakerOpens *obs.Counter
+	flushSecs    *obs.Histogram
+}
+
+func newClientMetrics(reg *obs.Registry, name string, c *Client) *clientMetrics {
+	l := obs.L("client", name)
+	m := &clientMetrics{
+		retries: reg.Counter("nazar_transport_retries_total",
+			"Request attempts beyond the first (per-batch and per-call retries).", l),
+		acked: reg.Counter("nazar_transport_entries_acked_total",
+			"Entries the server acknowledged (at-least-once delivered).", l),
+		droppedSpool: reg.Counter("nazar_transport_entries_dropped_total",
+			"Entries lost before acknowledgment.", l, obs.L("reason", "spool_full")),
+		rejected: reg.Counter("nazar_transport_entries_dropped_total",
+			"Entries lost before acknowledgment.", l, obs.L("reason", "rejected")),
+		breakerOpens: reg.Counter("nazar_transport_breaker_opens_total",
+			"Circuit-breaker open transitions.", l),
+		flushSecs: reg.Histogram("nazar_transport_flush_seconds",
+			"Latency of one accepted ingest batch (includes retries).", nil, l),
+	}
+	reg.GaugeFunc("nazar_transport_spool_depth", "Entries waiting in the offline spool.",
+		func() float64 { return float64(c.spool.Len()) }, l)
+	reg.GaugeFunc("nazar_transport_breaker_state",
+		"Circuit-breaker state (0 closed, 1 half-open, 2 open).",
+		func() float64 { return float64(c.breaker.State()) }, l)
+	return m
+}

@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"sync"
+
+	"nazar/internal/driftlog"
+)
+
+// spoolItem is one queued report with its monotonic sequence number.
+// Sequence numbers, not positions, tie an in-flight batch back to the
+// buffer: drop-oldest may evict entries while a send is in flight, and
+// acking by sequence never removes an entry that was not sent.
+type spoolItem struct {
+	seq    uint64
+	entry  driftlog.Entry
+	sample []float64
+}
+
+// spool is the bounded offline buffer between Report and the wire: a
+// fixed-capacity ring that degrades by dropping its oldest entries when
+// full (fresh telemetry is worth more than stale telemetry, and the
+// drift log is best-effort — matching the paper's lossy upload model).
+// Safe for concurrent use.
+type spool struct {
+	mu      sync.Mutex
+	buf     []spoolItem // ring; len(buf) == capacity
+	head    int         // index of oldest item
+	count   int
+	nextSeq uint64
+	dropped uint64
+}
+
+func newSpool(capacity int) *spool {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &spool{buf: make([]spoolItem, capacity)}
+}
+
+// Push appends a report, evicting the oldest entry when full. It
+// returns the evicted entry (ok=false when nothing was dropped).
+func (s *spool) Push(entry driftlog.Entry, sample []float64) (evicted driftlog.Entry, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == len(s.buf) {
+		evicted, ok = s.buf[s.head].entry, true
+		s.buf[s.head] = spoolItem{}
+		s.head = (s.head + 1) % len(s.buf)
+		s.count--
+		s.dropped++
+	}
+	tail := (s.head + s.count) % len(s.buf)
+	s.buf[tail] = spoolItem{seq: s.nextSeq, entry: entry, sample: sample}
+	s.nextSeq++
+	s.count++
+	return evicted, ok
+}
+
+// Peek copies up to n of the oldest entries without removing them,
+// returning the batch plus the highest sequence number it contains and
+// whether any row carries a sample. The batch stays spooled until
+// AckThrough confirms delivery, which is what makes delivery
+// at-least-once: a send that dies mid-flight leaves the entries queued
+// for the next attempt.
+func (s *spool) Peek(n int) (entries []driftlog.Entry, samples [][]float64, lastSeq uint64, anySample bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.count {
+		n = s.count
+	}
+	if n == 0 {
+		return nil, nil, 0, false
+	}
+	entries = make([]driftlog.Entry, n)
+	samples = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		it := s.buf[(s.head+i)%len(s.buf)]
+		entries[i] = it.entry
+		samples[i] = it.sample
+		if it.sample != nil {
+			anySample = true
+		}
+		lastSeq = it.seq
+	}
+	return entries, samples, lastSeq, anySample
+}
+
+// AckThrough removes every spooled entry with sequence ≤ seq and
+// returns how many were removed. Entries evicted by drop-oldest while
+// the batch was in flight are simply no longer present — they were
+// still delivered, so the caller's acknowledgment covers them.
+func (s *spool) AckThrough(seq uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for s.count > 0 && s.buf[s.head].seq <= seq {
+		s.buf[s.head] = spoolItem{}
+		s.head = (s.head + 1) % len(s.buf)
+		s.count--
+		removed++
+	}
+	return removed
+}
+
+// Len returns the number of spooled entries.
+func (s *spool) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Dropped returns the cumulative number of entries evicted by
+// drop-oldest.
+func (s *spool) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}

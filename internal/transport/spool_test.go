@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"nazar/internal/driftlog"
+)
+
+func entryN(n int) driftlog.Entry {
+	return driftlog.Entry{Attrs: map[string]string{"n": strconv.Itoa(n)}}
+}
+
+func entryNum(t *testing.T, e driftlog.Entry) int {
+	t.Helper()
+	n, err := strconv.Atoi(e.Attrs["n"])
+	if err != nil {
+		t.Fatalf("bad test entry: %v", err)
+	}
+	return n
+}
+
+// TestSpoolOverflowDropsOldest: pushing past capacity evicts exactly
+// the oldest entries, keeps the newest, and counts the drops.
+func TestSpoolOverflowDropsOldest(t *testing.T) {
+	s := newSpool(4)
+	for i := 0; i < 10; i++ {
+		evicted, dropped := s.Push(entryN(i), nil)
+		if wantDrop := i >= 4; dropped != wantDrop {
+			t.Fatalf("push %d: dropped = %v, want %v", i, dropped, wantDrop)
+		}
+		if dropped {
+			if got, want := entryNum(t, evicted), i-4; got != want {
+				t.Fatalf("push %d evicted entry %d, want %d (oldest)", i, got, want)
+			}
+		}
+	}
+	if s.Len() != 4 || s.Dropped() != 6 {
+		t.Fatalf("Len=%d Dropped=%d, want 4 and 6", s.Len(), s.Dropped())
+	}
+	entries, _, _, _ := s.Peek(10)
+	for i, e := range entries {
+		if got, want := entryNum(t, e), 6+i; got != want {
+			t.Fatalf("survivor %d is entry %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestSpoolAckBySequenceSurvivesConcurrentDrops: acking by sequence
+// after drop-oldest evicted part of the in-flight batch removes only
+// what is still present, and never touches entries pushed after the
+// peek.
+func TestSpoolAckBySequenceSurvivesConcurrentDrops(t *testing.T) {
+	s := newSpool(4)
+	for i := 0; i < 4; i++ {
+		s.Push(entryN(i), nil)
+	}
+	_, _, lastSeq, _ := s.Peek(3) // batch = entries 0,1,2 (seqs 0,1,2)
+
+	// While "in flight", two more pushes evict entries 0 and 1.
+	s.Push(entryN(4), nil)
+	s.Push(entryN(5), nil)
+
+	if removed := s.AckThrough(lastSeq); removed != 1 {
+		t.Fatalf("AckThrough removed %d, want 1 (only entry 2 remained)", removed)
+	}
+	entries, _, _, _ := s.Peek(10)
+	if len(entries) != 3 {
+		t.Fatalf("got %d survivors, want 3", len(entries))
+	}
+	for i, want := range []int{3, 4, 5} {
+		if got := entryNum(t, entries[i]); got != want {
+			t.Fatalf("survivor %d is entry %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestSpoolProperty is a randomized property test over mixed
+// push/peek/ack traffic: (1) order is always FIFO by push order, (2)
+// pushes − drops − acks == occupancy, (3) occupancy never exceeds
+// capacity, and (4) a drop-oldest victim is always the entry with the
+// smallest surviving push number.
+func TestSpoolProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 50; round++ {
+		capacity := 1 + rng.Intn(16)
+		s := newSpool(capacity)
+		pushed, dropped, acked := 0, 0, 0
+		oldestAlive := 0 // smallest push number still spooled
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(3) {
+			case 0: // push
+				evicted, didDrop := s.Push(entryN(pushed), nil)
+				pushed++
+				if didDrop {
+					if got := entryNum(t, evicted); got != oldestAlive {
+						t.Fatalf("round %d: evicted %d, want oldest %d", round, got, oldestAlive)
+					}
+					oldestAlive++
+					dropped++
+				}
+			case 1: // peek: FIFO contiguous from oldestAlive
+				n := 1 + rng.Intn(capacity)
+				entries, _, _, _ := s.Peek(n)
+				for i, e := range entries {
+					if got, want := entryNum(t, e), oldestAlive+i; got != want {
+						t.Fatalf("round %d: peek[%d] = entry %d, want %d", round, i, got, want)
+					}
+				}
+			case 2: // ack a prefix
+				n := rng.Intn(capacity + 1)
+				entries, _, lastSeq, _ := s.Peek(n)
+				if len(entries) == 0 {
+					continue
+				}
+				removed := s.AckThrough(lastSeq)
+				if removed != len(entries) {
+					t.Fatalf("round %d: acked %d, want %d", round, removed, len(entries))
+				}
+				oldestAlive += removed
+				acked += removed
+			}
+			if got, want := s.Len(), pushed-dropped-acked; got != want {
+				t.Fatalf("round %d: Len = %d, want pushes-drops-acks = %d", round, got, want)
+			}
+			if s.Len() > capacity {
+				t.Fatalf("round %d: occupancy %d exceeds capacity %d", round, s.Len(), capacity)
+			}
+		}
+		if s.Dropped() != uint64(dropped) {
+			t.Fatalf("round %d: Dropped() = %d, want %d", round, s.Dropped(), dropped)
+		}
+	}
+}
+
+// TestSpoolPeekSamples: sample rows ride along and anySample reflects
+// the peeked batch, not the whole spool.
+func TestSpoolPeekSamples(t *testing.T) {
+	s := newSpool(8)
+	s.Push(entryN(0), nil)
+	s.Push(entryN(1), []float64{1, 2})
+	entries, samples, _, anySample := s.Peek(1)
+	if len(entries) != 1 || anySample {
+		t.Fatalf("first peek: %d entries anySample=%v, want 1 entry, no samples", len(entries), anySample)
+	}
+	entries, samples, _, anySample = s.Peek(2)
+	if len(entries) != 2 || !anySample {
+		t.Fatalf("second peek: %d entries anySample=%v, want 2 entries with samples", len(entries), anySample)
+	}
+	if samples[0] != nil || fmt.Sprint(samples[1]) != "[1 2]" {
+		t.Fatalf("samples misaligned: %v", samples)
+	}
+}
