@@ -6,10 +6,11 @@ GO ?= go
 # Packages with dedicated concurrency stress tests; the race detector is
 # mandatory for them (sharded stores, batched ingest, HTTP surface, the
 # shared workspace arena under the compute kernels, the spooling
-# transport and its fault injector).
-RACE_PKGS = ./internal/cloud/... ./internal/driftlog/... ./internal/httpapi/... ./internal/tensor/... ./internal/transport/... ./internal/faultinject/...
+# transport and its fault injector, and the bitset-indexed analytics
+# with their shared support caches).
+RACE_PKGS = ./internal/cloud/... ./internal/driftlog/... ./internal/fim/... ./internal/rca/... ./internal/httpapi/... ./internal/tensor/... ./internal/transport/... ./internal/faultinject/...
 
-.PHONY: ci vet staticcheck build test race race-chaos chaos fuzz bench bench-kernels bench-smoke clean
+.PHONY: ci vet staticcheck build test race race-chaos chaos fuzz bench bench-kernels bench-analysis bench-smoke clean
 
 ci: vet staticcheck build test race race-chaos
 
@@ -67,6 +68,18 @@ bench-kernels:
 	$(GO) run ./cmd/benchjson < bench-kernels.out > BENCH_kernels.json
 	@rm -f bench-kernels.out
 	@echo "wrote BENCH_kernels.json"
+
+# Drift-log analytics benchmarks: bitset popcount counting vs the
+# row-scan oracles, full mining vs cached window re-mining, and the
+# key-caching micro-benchmark. Same 5-sample best-of protocol as
+# bench-kernels; the parsed results (including bitset-vs-scan and
+# cached-vs-first speedups) land in BENCH_analysis.json.
+bench-analysis:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 0.5s -count 5 ./internal/driftlog/ ./internal/fim/ \
+		| tee bench-analysis.out
+	$(GO) run ./cmd/benchjson < bench-analysis.out > BENCH_analysis.json
+	@rm -f bench-analysis.out
+	@echo "wrote BENCH_analysis.json"
 
 # One-iteration pass over every benchmark in the repo — the CI smoke
 # check that none of them rotted.

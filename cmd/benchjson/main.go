@@ -34,8 +34,8 @@ type Report struct {
 	Context map[string]string `json:"context,omitempty"`
 	// Benchmarks in input order.
 	Benchmarks []Benchmark `json:"benchmarks"`
-	// Speedups maps "Foo/N" to ref-ns-per-op ÷ blocked-ns-per-op for
-	// every Foo/blocked/N + Foo/ref/N pair found.
+	// Speedups maps "Foo/N" to slow-ns-per-op ÷ fast-ns-per-op for
+	// every variant pair found (see variantPairs).
 	Speedups map[string]float64 `json:"speedups,omitempty"`
 }
 
@@ -131,33 +131,54 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
-// speedups pairs Foo/blocked/N with Foo/ref/N benchmarks and reports
-// ref-time ÷ blocked-time per pair, keyed "Foo/N".
+// variantPairs lists the fast/slow sub-benchmark variant names that
+// fold into a headline speedup: blocked-vs-reference kernels,
+// bitset-vs-scan analytics, cached-vs-first window re-mining, and
+// keyed-vs-rebuild candidate sorting.
+var variantPairs = []struct{ fast, slow string }{
+	{"blocked", "ref"},
+	{"bitset", "scan"},
+	{"cached", "first"},
+	{"keyed", "rebuild"},
+}
+
+// speedups pairs Foo/<fast>/N with Foo/<slow>/N benchmarks (the size
+// suffix is optional: Foo/<fast> pairs with Foo/<slow>) and reports
+// slow-time ÷ fast-time per pair, keyed "Foo/N" or "Foo".
 func speedups(benchmarks []Benchmark) map[string]float64 {
-	blocked := map[string]float64{}
-	ref := map[string]float64{}
+	type sample struct {
+		variant string
+		ns      float64
+	}
+	byKey := map[string][]sample{}
 	for _, b := range benchmarks {
 		parts := strings.Split(b.Name, "/")
-		if len(parts) != 3 {
+		if len(parts) < 2 || len(parts) > 3 {
 			continue
 		}
-		key := parts[0] + "/" + parts[2]
-		switch parts[1] {
-		case "blocked":
-			blocked[key] = b.NsPerOp
-		case "ref":
-			ref[key] = b.NsPerOp
+		key := parts[0]
+		if len(parts) == 3 {
+			key += "/" + parts[2]
 		}
+		byKey[key] = append(byKey[key], sample{parts[1], b.NsPerOp})
 	}
 	out := map[string]float64{}
-	keys := make([]string, 0, len(blocked))
-	for k := range blocked {
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		if r, ok := ref[k]; ok && blocked[k] > 0 {
-			out[k] = r / blocked[k]
+		variants := map[string]float64{}
+		for _, s := range byKey[k] {
+			variants[s.variant] = s.ns
+		}
+		for _, p := range variantPairs {
+			fast, okF := variants[p.fast]
+			slow, okS := variants[p.slow]
+			if okF && okS && fast > 0 {
+				out[k] = slow / fast
+			}
 		}
 	}
 	if len(out) == 0 {

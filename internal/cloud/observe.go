@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"time"
 
+	"nazar/internal/fim"
 	"nazar/internal/obs"
 	"nazar/internal/tensor"
 )
@@ -25,6 +26,12 @@ import (
 //	nazar_window_versions_total{verdict="accepted"|"rejected"}
 //	nazar_window_stage_seconds{stage="rca"|"adapt"|"total"}  histograms
 //	nazar_window_log_rows             rows scanned per window (histogram)
+//	nazar_analysis_cache_total{result="hit"|"delta"|"miss"}
+//	                                  window-analysis cache outcomes
+//	nazar_driftlog_index_bitmaps      live (attribute,value)+drift bitmaps
+//	nazar_driftlog_index_words        64-bit words held by the index
+//	nazar_fim_cache_hits              memoized support-count hits
+//	nazar_fim_cache_misses            memoized support-count misses
 //	nazar_driftlog_rows               current drift-log rows
 //	nazar_driftlog_shard_rows{shard=} per-shard occupancy
 //	nazar_driftlog_attributes         distinct attribute names
@@ -52,6 +59,10 @@ type Metrics struct {
 	causesFound      *obs.Counter
 	versionsAccepted *obs.Counter
 	versionsRejected *obs.Counter
+
+	analysisCacheHits   *obs.Counter
+	analysisCacheDeltas *obs.Counter
+	analysisCacheMisses *obs.Counter
 
 	stageRCA   *obs.Histogram
 	stageAdapt *obs.Histogram
@@ -81,6 +92,13 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Adaptation outcomes per diagnosed cause (accepted = version produced).", obs.L("verdict", "accepted")),
 		versionsRejected: reg.Counter("nazar_window_versions_total",
 			"Adaptation outcomes per diagnosed cause (accepted = version produced).", obs.L("verdict", "rejected")),
+
+		analysisCacheHits: reg.Counter("nazar_analysis_cache_total",
+			"Window-analysis cache outcomes (hit = causes reused, delta = only new rows mined).", obs.L("result", "hit")),
+		analysisCacheDeltas: reg.Counter("nazar_analysis_cache_total",
+			"Window-analysis cache outcomes (hit = causes reused, delta = only new rows mined).", obs.L("result", "delta")),
+		analysisCacheMisses: reg.Counter("nazar_analysis_cache_total",
+			"Window-analysis cache outcomes (hit = causes reused, delta = only new rows mined).", obs.L("result", "miss")),
 
 		stageRCA:   reg.Histogram("nazar_window_stage_seconds", "Per-stage window latency.", obs.DefBuckets, obs.L("stage", "rca")),
 		stageAdapt: reg.Histogram("nazar_window_stage_seconds", "Per-stage window latency.", obs.DefBuckets, obs.L("stage", "adapt")),
@@ -123,6 +141,15 @@ func (m *Metrics) observeStores(s *Service) {
 		func() float64 { return rowAge(log.Stats().OldestTime, s.clock) }, obs.L("bound", "oldest"))
 	reg.GaugeFunc("nazar_driftlog_age_seconds", "Age of the newest retained row.",
 		func() float64 { return rowAge(log.Stats().NewestTime, s.clock) }, obs.L("bound", "newest"))
+	reg.GaugeFunc("nazar_driftlog_index_bitmaps", "Live (attribute,value) and drift bitmaps in the bitset index.",
+		func() float64 { return float64(log.Stats().IndexBitmaps) })
+	reg.GaugeFunc("nazar_driftlog_index_words", "64-bit words held by the bitset index.",
+		func() float64 { return float64(log.Stats().IndexWords) })
+
+	reg.GaugeFunc("nazar_fim_cache_hits", "Memoized support-count hits (process-wide).",
+		func() float64 { return float64(fim.ReadSupportCacheStats().Hits) })
+	reg.GaugeFunc("nazar_fim_cache_misses", "Memoized support-count misses (process-wide).",
+		func() float64 { return float64(fim.ReadSupportCacheStats().Misses) })
 
 	reg.GaugeFunc("nazar_samples_retained", "Samples currently held.",
 		func() float64 { return float64(samples.Stats().Retained) })

@@ -10,6 +10,7 @@ package cloud
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -258,6 +259,29 @@ type Service struct {
 	// refBN is the initial base's BN state, pinned as the delta
 	// reference for compressed version transfer.
 	refBN *nn.BNSnapshot
+
+	// acMu guards acache, the incremental window-analysis cache (see
+	// analyze).
+	acMu   sync.Mutex
+	acache analysisCache
+}
+
+// analysisCache carries the previous analysis run's identity and mining
+// state. The identity is (window bounds, per-shard pinned row counts,
+// compaction generation): shards are append-only between compactions,
+// so equal identity means the exact same rows — the causes are reused
+// wholesale — and a grown identity (same lower bound, same-or-later
+// upper bound, pointwise ≥ row counts) means the previous rows are a
+// stable prefix, so mining counts only the delta rows (fim.MineCache).
+// Any compaction bumps the store's generation counter and voids the
+// cache.
+type analysisCache struct {
+	valid       bool
+	fromN, toN  int64
+	shardRows   []int
+	compactions int64
+	mine        *fim.MineCache
+	causes      []rca.Cause
 }
 
 // Option customizes service construction (the DefaultConfig/Config pair
@@ -484,7 +508,7 @@ func (s *Service) RunWindowContext(ctx context.Context, from, to, now time.Time)
 	res.LogRows = v.Len()
 
 	rcaStart := s.clock()
-	causes, err := rca.AnalyzeContext(ctx, v, rca.Config{Thresholds: s.cfg.Thresholds}, s.cfg.RCAMode)
+	causes, err := s.analyze(ctx, v)
 	if err != nil {
 		if ctx.Err() != nil {
 			return fail(err)
@@ -505,34 +529,39 @@ func (s *Service) RunWindowContext(ctx context.Context, from, to, now time.Time)
 		}
 		return s.samples.Gather(ids)
 	}
-	versions, err := adapt.ByCauseContext(ctx, base, causes, source, s.cfg.MinSamplesPerCause, s.cfg.AdaptCfg, now)
-	if err != nil {
-		if ctx.Err() != nil {
-			return fail(err)
+	var versions []adapt.BNVersion
+	var adaptErr error
+	pprof.Do(ctx, pprof.Labels("nazar_stage", "adapt"), func(ctx context.Context) {
+		versions, adaptErr = adapt.ByCauseContext(ctx, base, causes, source, s.cfg.MinSamplesPerCause, s.cfg.AdaptCfg, now)
+		if adaptErr != nil {
+			adaptErr = wrapUnlessCancelled(ctx, adaptErr, "cloud: by-cause adaptation")
+			return
 		}
-		return fail(fmt.Errorf("cloud: by-cause adaptation: %w", err))
-	}
-
-	if s.cfg.AdaptClean {
-		if cleanX := s.cleanSamples(causes, from, to); cleanX != nil && cleanX.Rows >= s.cfg.MinSamplesPerCause {
-			adapted, err := adapt.AdaptContext(ctx, base, cleanX, s.cfg.AdaptCfg)
-			if err != nil {
-				if ctx.Err() != nil {
-					return fail(err)
-				}
-				return fail(fmt.Errorf("cloud: clean adaptation: %w", err))
-			}
-			s.mu.Lock()
-			s.base = adapted
-			s.versionSeq++
-			seq := s.versionSeq
-			s.mu.Unlock()
-			versions = append(versions, adapt.BNVersion{
-				ID:        fmt.Sprintf("clean@%d#%d", now.Unix(), seq),
-				Snapshot:  nn.CaptureBN(adapted),
-				CreatedAt: now,
-			})
+		if !s.cfg.AdaptClean {
+			return
 		}
+		cleanX := s.cleanSamples(causes, from, to)
+		if cleanX == nil || cleanX.Rows < s.cfg.MinSamplesPerCause {
+			return
+		}
+		adapted, err := adapt.AdaptContext(ctx, base, cleanX, s.cfg.AdaptCfg)
+		if err != nil {
+			adaptErr = wrapUnlessCancelled(ctx, err, "cloud: clean adaptation")
+			return
+		}
+		s.mu.Lock()
+		s.base = adapted
+		s.versionSeq++
+		seq := s.versionSeq
+		s.mu.Unlock()
+		versions = append(versions, adapt.BNVersion{
+			ID:        fmt.Sprintf("clean@%d#%d", now.Unix(), seq),
+			Snapshot:  nn.CaptureBN(adapted),
+			CreatedAt: now,
+		})
+	})
+	if adaptErr != nil {
+		return fail(adaptErr)
 	}
 	res.AdaptDuration = s.clock().Sub(adaptStart)
 	res.Versions = versions
@@ -543,6 +572,107 @@ func (s *Service) RunWindowContext(ctx context.Context, from, to, now time.Time)
 		m.observeWindow(res, s.clock().Sub(windowStart))
 	}
 	return res, nil
+}
+
+// wrapUnlessCancelled preserves raw context errors (callers detect them
+// via ctx.Err()) and wraps everything else with the stage name.
+func wrapUnlessCancelled(ctx context.Context, err error, stage string) error {
+	if ctx.Err() != nil {
+		return err
+	}
+	return fmt.Errorf("%s: %w", stage, err)
+}
+
+// analyze runs root-cause analysis through the incremental
+// window-analysis cache:
+//
+//   - unchanged window (same bounds, same pinned rows, no compaction):
+//     the cached causes are returned without re-mining anything;
+//   - grown window (same lower bound, row set a superset): mining
+//     counts only the delta rows via rca.AnalyzeIncrementalContext;
+//   - anything else (different window, compaction, first run): a full
+//     analysis, which repopulates the cache.
+//
+// Results are identical to a fresh analysis in every case: the hit path
+// replays a deterministic computation's output, and the delta path's
+// counts are exact-integer sums over a disjoint row decomposition.
+func (s *Service) analyze(ctx context.Context, v *driftlog.View) ([]rca.Cause, error) {
+	fromN, toN := v.Bounds()
+	rows := v.ShardRows()
+	comp := s.log.Compactions()
+
+	s.acMu.Lock()
+	ac := s.acache
+	s.acMu.Unlock()
+
+	var delta *driftlog.View
+	var prev *fim.MineCache
+	outcome := "miss"
+	if ac.valid && ac.fromN == fromN && ac.compactions == comp {
+		if ac.toN == toN && rowsEqual(ac.shardRows, rows) {
+			if m := s.metrics; m != nil {
+				m.analysisCacheHits.Inc()
+			}
+			return append([]rca.Cause(nil), ac.causes...), nil
+		}
+		if toN >= ac.toN && rowsGrown(ac.shardRows, rows) {
+			if d, err := v.Since(ac.shardRows, ac.toN); err == nil {
+				delta, prev = d, ac.mine
+				outcome = "delta"
+			}
+		}
+	}
+	causes, mine, err := rca.AnalyzeIncrementalContext(ctx, v, delta, prev,
+		rca.Config{Thresholds: s.cfg.Thresholds}, s.cfg.RCAMode)
+	if err != nil {
+		return nil, err
+	}
+	if m := s.metrics; m != nil {
+		if outcome == "delta" {
+			m.analysisCacheDeltas.Inc()
+		} else {
+			m.analysisCacheMisses.Inc()
+		}
+	}
+	s.acMu.Lock()
+	s.acache = analysisCache{
+		valid:       true,
+		fromN:       fromN,
+		toN:         toN,
+		shardRows:   rows,
+		compactions: comp,
+		mine:        mine,
+		causes:      append([]rca.Cause(nil), causes...),
+	}
+	s.acMu.Unlock()
+	return causes, nil
+}
+
+// rowsEqual reports a == b elementwise.
+func rowsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowsGrown reports b[i] >= a[i] elementwise (b strictly contains a's
+// rows as a prefix, shard by shard).
+func rowsGrown(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if b[i] < a[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // VersionsSince returns every produced version with CreatedAt ≥ since

@@ -1,0 +1,125 @@
+package driftlog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchStore100k memoizes the 100k-row benchmark log shared by every
+// benchmark in this file (building it dominates -benchtime otherwise).
+var benchStore100k = sync.OnceValue(func() *Store {
+	s := NewStore()
+	base := time.Unix(0, 0).UTC()
+	entries := make([]Entry, 0, 100000)
+	for i := 0; i < 100000; i++ {
+		entries = append(entries, Entry{
+			Time:     base.Add(time.Duration(i) * time.Millisecond),
+			Drift:    i%3 == 0,
+			SampleID: -1,
+			Attrs: map[string]string{
+				AttrWeather:  []string{"clear-day", "rain", "snow", "fog"}[i%4],
+				AttrLocation: fmt.Sprintf("city_%d", i%10),
+				AttrDevice:   fmt.Sprintf("dev_%d", i%64),
+			},
+		})
+	}
+	s.AppendBatch(entries)
+	return s
+})
+
+var benchConds = []Cond{{AttrWeather, "rain"}, {AttrLocation, "city_3"}}
+
+// BenchmarkCount pits the popcount path against the retained row-scan
+// oracle on the same 100k-row log (the scan/bitset variant pair is what
+// cmd/benchjson folds into a speedup).
+func BenchmarkCount(b *testing.B) {
+	s := benchStore100k()
+	b.Run("scan/100k", func(b *testing.B) {
+		v := s.WindowScan(time.Time{}, time.Time{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := v.Count(benchConds, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bitset/100k", func(b *testing.B) {
+		v := s.All()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := v.Count(benchConds, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkClearDrift measures one overlay cycle: acquire, clear every
+// row matching the conditions, release.
+func BenchmarkClearDrift(b *testing.B) {
+	s := benchStore100k()
+	b.Run("scan/100k", func(b *testing.B) {
+		v := s.All()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ov := v.DriftOverlay()
+			if _, err := v.ClearDriftScan(benchConds, ov); err != nil {
+				b.Fatal(err)
+			}
+			ov.Release()
+		}
+	})
+	b.Run("bitset/100k", func(b *testing.B) {
+		v := s.All()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ov := v.DriftOverlay()
+			if _, err := v.ClearDrift(benchConds, ov); err != nil {
+				b.Fatal(err)
+			}
+			ov.Release()
+		}
+	})
+}
+
+// BenchmarkPairCounts measures the level-2 apriori pair aggregation.
+func BenchmarkPairCounts(b *testing.B) {
+	s := benchStore100k()
+	b.Run("scan/100k", func(b *testing.B) {
+		v := s.All()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v.PairCountsScan(nil, nil)
+		}
+	})
+	b.Run("bitset/100k", func(b *testing.B) {
+		v := s.All()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v.PairCounts(nil, nil)
+		}
+	})
+}
+
+// BenchmarkAttrValueCounts measures the level-1 apriori group-by.
+func BenchmarkAttrValueCounts(b *testing.B) {
+	s := benchStore100k()
+	b.Run("scan/100k", func(b *testing.B) {
+		v := s.All()
+		var dst map[string]map[string]CountResult
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = v.attrValueCountsScanInto(dst, nil)
+		}
+	})
+	b.Run("bitset/100k", func(b *testing.B) {
+		v := s.All()
+		var dst map[string]map[string]CountResult
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = v.AttrValueCountsInto(dst, nil)
+		}
+	})
+}

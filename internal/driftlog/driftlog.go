@@ -57,15 +57,18 @@ const (
 )
 
 // column is a dictionary-encoded attribute column. ID 0 is reserved for
-// "attribute missing on this row".
+// "attribute missing on this row". bits[id] is the value's row bitmap,
+// maintained at append time (bits[0] stays nil; trailing zero words are
+// omitted, so a bitmap only grows when its value appears).
 type column struct {
 	ids   []uint32
 	dict  []string          // dict[0] == ""
 	index map[string]uint32 // value -> id
+	bits  [][]uint64        // parallel to dict
 }
 
 func newColumn(backfill int) *column {
-	c := &column{dict: []string{""}, index: map[string]uint32{}}
+	c := &column{dict: []string{""}, index: map[string]uint32{}, bits: [][]uint64{nil}}
 	if backfill > 0 {
 		c.ids = make([]uint32, backfill)
 	}
@@ -83,19 +86,21 @@ func (c *column) intern(v string) uint32 {
 	}
 	id := uint32(len(c.dict))
 	c.dict = append(c.dict, v)
+	c.bits = append(c.bits, nil)
 	c.index[v] = id
 	return id
 }
 
 // shard is one independently locked columnar sub-table.
 type shard struct {
-	mu      sync.RWMutex
-	seqs    []int64 // global sequence numbers (not sorted under concurrency)
-	times   []int64 // unix nanos
-	drift   []bool
-	samples []int64
-	cols    map[string]*column
-	order   []string // column names in shard-first-seen order
+	mu        sync.RWMutex
+	seqs      []int64 // global sequence numbers (not sorted under concurrency)
+	times     []int64 // unix nanos
+	drift     []bool
+	driftBits []uint64 // bitmap mirror of drift (trailing zero words omitted)
+	samples   []int64
+	cols      map[string]*column
+	order     []string // column names in shard-first-seen order
 }
 
 // Store is the drift log. It is safe for concurrent use: appends from
@@ -107,6 +112,11 @@ type Store struct {
 	// compacted counts rows removed by retention compaction (exposed via
 	// Stats for the observability layer).
 	compacted atomic.Int64
+
+	// compactions counts Compact calls that removed rows. Compaction
+	// renumbers rows and rebuilds dictionaries/bitmaps, so any cache keyed
+	// on per-shard row counts must include this generation counter.
+	compactions atomic.Int64
 
 	// attrMu guards the store-wide attribute registry (first-seen order
 	// across all shards).
@@ -223,6 +233,9 @@ func (sh *shard) appendLocked(seq int64, e Entry) {
 	sh.seqs = append(sh.seqs, seq)
 	sh.times = append(sh.times, e.Time.UnixNano())
 	sh.drift = append(sh.drift, e.Drift)
+	if e.Drift {
+		sh.driftBits = setBit(sh.driftBits, row)
+	}
 	sh.samples = append(sh.samples, e.SampleID)
 	for name, val := range e.Attrs {
 		col, ok := sh.cols[name]
@@ -231,7 +244,9 @@ func (sh *shard) appendLocked(seq int64, e Entry) {
 			sh.cols[name] = col
 			sh.order = append(sh.order, name)
 		}
-		col.ids = append(col.ids, col.intern(val))
+		id := col.intern(val)
+		col.ids = append(col.ids, id)
+		col.bits[id] = setBit(col.bits[id], row)
 	}
 	// Backfill missing attributes for this row.
 	for _, name := range sh.order {
@@ -270,6 +285,11 @@ type Stats struct {
 	// OldestTime / NewestTime bound the retained rows' timestamps (zero
 	// when the store is empty) — the "snapshot age" of the log.
 	OldestTime, NewestTime time.Time
+	// IndexBitmaps / IndexWords size the bitset index: live
+	// per-(attribute, value) bitmaps (plus drift bitmaps) and the total
+	// 64-bit words they hold.
+	IndexBitmaps int
+	IndexWords   int
 }
 
 // Stats returns the current operational snapshot. It scans row
@@ -284,6 +304,18 @@ func (s *Store) Stats() Stats {
 		sh.mu.RLock()
 		st.ShardRows[i] = len(sh.times)
 		st.Rows += len(sh.times)
+		if len(sh.driftBits) > 0 {
+			st.IndexBitmaps++
+			st.IndexWords += len(sh.driftBits)
+		}
+		for _, col := range sh.cols {
+			for _, bm := range col.bits {
+				if bm != nil {
+					st.IndexBitmaps++
+					st.IndexWords += len(bm)
+				}
+			}
+		}
 		for _, t := range sh.times {
 			if !seen || t < oldest {
 				oldest = t
@@ -367,42 +399,81 @@ type Cond struct {
 	Value string
 }
 
-// viewCol pins one shard column at snapshot time.
+// viewCol pins one shard column at snapshot time. bits (indexed views
+// only) pins the value bitmaps, parallel to dict.
 type viewCol struct {
 	ids  []uint32
 	dict []string
+	bits []bmSnap
+}
+
+// lookup resolves a value to its dictionary ID (0 = not present).
+func (c viewCol) lookup(v string) uint32 {
+	for i := 1; i < len(c.dict); i++ {
+		if c.dict[i] == v {
+			return uint32(i)
+		}
+	}
+	return 0
 }
 
 // viewShard is the immutable snapshot of one shard: slice headers pinned
 // at creation, so scans touch no locks and concurrent appends (which only
-// write beyond the pinned lengths) never shift results mid-analysis.
+// write beyond the pinned lengths) never shift results mid-analysis. The
+// same argument pins the bitset index: appends only mutate the word
+// covering the row being written, so the fully populated word prefix is
+// shared by reference and the single partial word at the pinned row
+// boundary is copied by value (bmSnap.tail) under the shard lock.
 type viewShard struct {
-	offset  int // base index of this shard's rows in overlay slices
+	offset  int // base index of this shard's rows in the view's row numbering
 	rows    int
 	seqs    []int64
 	times   []int64
 	drift   []bool
 	samples []int64
 	cols    map[string]viewCol
+
+	// Bitset index (indexed views only).
+	indexed   bool
+	fullWords int    // rows / 64
+	window    bmSnap // rows passing the view's window predicate
+	driftBM   bmSnap // stored drift flags
+
+	// Delta-view predicate (Since): a row qualifies when it is new
+	// (row index >= minRow) or was previously outside the window's upper
+	// bound (time >= prevTo). Zero minRow accepts every in-window row.
+	minRow int
+	prevTo int64
 }
 
 // View is a read-only window over the store: the rows whose timestamps
 // fall in [From, To). A zero From/To means unbounded on that side.
 //
 // A View snapshots every shard at creation time; all subsequent reads are
-// lock-free and unaffected by concurrent appends. Overlay slices returned
-// by DriftOverlay are indexed by the view's own row numbering and must
-// only be passed back to the view that produced them.
+// lock-free and unaffected by concurrent appends. Overlays returned by
+// DriftOverlay are indexed by the view's own row numbering and must only
+// be passed back to the view that produced them.
 type View struct {
 	from, to int64
 	attrs    map[string]bool // attribute registry pinned at creation
 	total    int
+	noIndex  bool // WindowScan views: force the row-scan oracle paths
 	shards   [numShards]viewShard
 }
 
-// Window returns a view over [from, to). Zero times are unbounded.
-func (s *Store) Window(from, to time.Time) *View {
-	v := &View{attrs: map[string]bool{}}
+// Window returns a view over [from, to). Zero times are unbounded. The
+// view carries a pinned snapshot of the bitset index, so Count,
+// ClearDrift and AttrValueCounts run as word-wise AND + popcount.
+func (s *Store) Window(from, to time.Time) *View { return s.window(from, to, true) }
+
+// WindowScan returns a view with no index snapshot: every query runs the
+// retained row-scan loops. It exists for differential tests and
+// benchmarks (the scan oracle baseline); results are identical to an
+// indexed view's by contract.
+func (s *Store) WindowScan(from, to time.Time) *View { return s.window(from, to, false) }
+
+func (s *Store) window(from, to time.Time, indexed bool) *View {
+	v := &View{attrs: map[string]bool{}, noIndex: !indexed}
 	s.attrMu.RLock()
 	for _, name := range s.attrOrder {
 		v.attrs[name] = true
@@ -430,19 +501,113 @@ func (s *Store) Window(from, to time.Time) *View {
 			samples: sh.samples[:rows],
 			cols:    make(map[string]viewCol, len(sh.cols)),
 		}
-		for name, col := range sh.cols {
-			vs.cols[name] = viewCol{ids: col.ids[:rows], dict: col.dict}
+		if indexed {
+			fw := rows >> 6
+			rem := uint(rows & 63)
+			vs.driftBM = snapBitmap(sh.driftBits, fw, rem)
+			for name, col := range sh.cols {
+				nvals := len(col.dict)
+				bits := make([]bmSnap, nvals)
+				for id := 1; id < nvals; id++ {
+					bits[id] = snapBitmap(col.bits[id], fw, rem)
+				}
+				vs.cols[name] = viewCol{ids: col.ids[:rows], dict: col.dict[:nvals], bits: bits}
+			}
+		} else {
+			for name, col := range sh.cols {
+				vs.cols[name] = viewCol{ids: col.ids[:rows], dict: col.dict}
+			}
 		}
 		sh.mu.RUnlock()
 		v.shards[i] = vs
+		if indexed {
+			// Outside the lock: reads only the pinned times.
+			v.shards[i].buildWindowBM(v)
+		}
 		offset += rows
 	}
 	v.total = offset
 	return v
 }
 
+// buildWindowBM materializes the shard's window-predicate bitmap (one
+// pass over the pinned timestamps; skipped entirely for unbounded
+// views).
+func (vs *viewShard) buildWindowBM(v *View) {
+	fw := vs.rows >> 6
+	rem := uint(vs.rows & 63)
+	vs.fullWords = fw
+	words := make([]uint64, fw)
+	var tail uint64
+	if v.from == 0 && v.to == 1<<63-1 && vs.minRow == 0 {
+		for i := range words {
+			words[i] = ^uint64(0)
+		}
+		if rem > 0 {
+			tail = 1<<rem - 1
+		}
+	} else {
+		for i := 0; i < vs.rows; i++ {
+			if !vs.inWindow(v, i) {
+				continue
+			}
+			if w := i >> 6; w < fw {
+				words[w] |= 1 << (uint(i) & 63)
+			} else {
+				tail |= 1 << (uint(i) & 63)
+			}
+		}
+	}
+	vs.window = bmSnap{words: words, tail: tail}
+	vs.indexed = true
+}
+
 // All returns a view over every row currently in the store.
 func (s *Store) All() *View { return s.Window(time.Time{}, time.Time{}) }
+
+// Bounds returns the view's window as unix nanos (to is 1<<63-1 when
+// unbounded) — the identity half of an analysis-cache key.
+func (v *View) Bounds() (from, to int64) { return v.from, v.to }
+
+// ShardRows returns the per-shard pinned row counts — the watermark half
+// of an analysis-cache key. Shards are append-only between compactions,
+// so a previous view's rows form a stable prefix of a later view's.
+func (v *View) ShardRows() []int {
+	out := make([]int, numShards)
+	for i := range v.shards {
+		out[i] = v.shards[i].rows
+	}
+	return out
+}
+
+// Since derives the delta view of a grown window from the same pinned
+// snapshot: the rows of v that a previous view with per-shard row counts
+// prevRows and upper bound prevTo (unix nanos) did not contain — either
+// appended after it (row index >= prevRows[shard]) or previously beyond
+// its upper bound (time >= prevTo, for cumulative windows whose `to`
+// advances). Counts over the delta add to the previous view's counts to
+// give v's, which is what incremental mining exploits. prevRows must
+// come from ShardRows of a view of the same store with no intervening
+// compaction.
+func (v *View) Since(prevRows []int, prevTo int64) (*View, error) {
+	if len(prevRows) != numShards {
+		return nil, fmt.Errorf("driftlog: Since: got %d shard watermarks, want %d", len(prevRows), numShards)
+	}
+	d := &View{from: v.from, to: v.to, attrs: v.attrs, total: v.total, noIndex: v.noIndex}
+	d.shards = v.shards
+	for si := range d.shards {
+		vs := &d.shards[si]
+		if prevRows[si] < 0 || prevRows[si] > vs.rows {
+			return nil, fmt.Errorf("driftlog: Since: shard %d watermark %d out of range [0,%d]", si, prevRows[si], vs.rows)
+		}
+		vs.minRow = prevRows[si]
+		vs.prevTo = prevTo
+		if !d.noIndex {
+			vs.buildWindowBM(d)
+		}
+	}
+	return d, nil
+}
 
 // parallelScanRows is the pinned-row count above which per-shard scans
 // fan out over the worker pool.
@@ -465,14 +630,29 @@ func (v *View) eachShard(f func(i int)) {
 	})
 }
 
-// inWindow reports whether row i of the shard falls inside the view.
+// inWindow reports whether row i of the shard falls inside the view
+// (including the delta predicate of Since-derived views).
 func (vs *viewShard) inWindow(v *View, i int) bool {
 	t := vs.times[i]
-	return t >= v.from && t < v.to
+	if t < v.from || t >= v.to {
+		return false
+	}
+	return i >= vs.minRow || t >= vs.prevTo
 }
 
 // Len returns the number of rows inside the view.
 func (v *View) Len() int {
+	if !v.noIndex {
+		n := 0
+		for si := range v.shards {
+			vs := &v.shards[si]
+			for _, w := range vs.window.words {
+				n += onesCount(w)
+			}
+			n += onesCount(vs.window.tail)
+		}
+		return n
+	}
 	var counts [numShards]int
 	v.eachShard(func(si int) {
 		vs := &v.shards[si]
@@ -506,22 +686,18 @@ type colCond struct {
 // absent there). An attribute unknown to the whole store is an error,
 // preserving the unsharded store's contract.
 func (v *View) resolveConds(vs *viewShard, conds []Cond) (ccs []colCond, match bool, err error) {
+	// Validate every attribute name before any per-shard short-circuit,
+	// so the error is independent of which shard a value landed in.
+	if err := v.checkConds(conds); err != nil {
+		return nil, false, err
+	}
 	ccs = make([]colCond, 0, len(conds))
 	for _, c := range conds {
-		if !v.attrs[c.Attr] {
-			return nil, false, fmt.Errorf("driftlog: unknown attribute %q", c.Attr)
-		}
 		col, ok := vs.cols[c.Attr]
 		if !ok {
 			return nil, false, nil // column never appeared in this shard
 		}
-		id := uint32(0)
-		for i, val := range col.dict {
-			if val == c.Value && i != 0 {
-				id = uint32(i)
-				break
-			}
-		}
+		id := col.lookup(c.Value)
 		if id == 0 {
 			return nil, false, nil // value never seen in this shard
 		}
@@ -530,11 +706,22 @@ func (v *View) resolveConds(vs *viewShard, conds []Cond) (ccs []colCond, match b
 	return ccs, true, nil
 }
 
-// Count aggregates rows matching every condition. overlay, if non-nil,
-// replaces the stored drift flags (indexed by the view's row numbering) —
-// the hook counterfactual analysis uses to "mark" entries as non-drift
-// without mutating the log.
-func (v *View) Count(conds []Cond, overlay []bool) (CountResult, error) {
+// Count aggregates rows matching every condition. The overlay, if
+// non-nil, replaces the stored drift flags — the hook counterfactual
+// analysis uses to "mark" entries as non-drift without mutating the log.
+// On indexed views this is a word-wise AND + popcount over the pinned
+// bitmaps; WindowScan views fall back to the row-scan oracle.
+func (v *View) Count(conds []Cond, ov *Overlay) (CountResult, error) {
+	if v.noIndex {
+		return v.CountScan(conds, ov)
+	}
+	return v.countBitset(conds, ov)
+}
+
+// CountScan is the retained row-scan oracle for Count: result-identical
+// by contract, kept for differential tests and as the fallback for
+// index-free views.
+func (v *View) CountScan(conds []Cond, ov *Overlay) (CountResult, error) {
 	var partial [numShards]CountResult
 	var errs [numShards]error
 	v.eachShard(func(si int) {
@@ -559,11 +746,7 @@ func (v *View) Count(conds []Cond, overlay []bool) (CountResult, error) {
 				}
 			}
 			res.Total++
-			d := vs.drift[i]
-			if overlay != nil {
-				d = overlay[vs.offset+i]
-			}
-			if d {
+			if ov.driftAt(vs, si, i) {
 				res.Drift++
 			}
 		}
@@ -580,20 +763,20 @@ func (v *View) Count(conds []Cond, overlay []bool) (CountResult, error) {
 	return out, nil
 }
 
-// DriftOverlay copies the stored drift flags for all rows in the view's
-// row numbering; counterfactual analysis mutates the copy.
-func (v *View) DriftOverlay() []bool {
-	out := make([]bool, v.total)
-	for si := range v.shards {
-		vs := &v.shards[si]
-		copy(out[vs.offset:vs.offset+vs.rows], vs.drift)
+// ClearDrift clears the overlaid drift flag of every in-window row
+// matching the conditions, returning how many flags were cleared. A
+// mutating call stamps the overlay with a fresh epoch (see
+// Overlay.Epoch). Indexed views clear word-wise; WindowScan views fall
+// back to the row-scan oracle.
+func (v *View) ClearDrift(conds []Cond, ov *Overlay) (int, error) {
+	if v.noIndex {
+		return v.ClearDriftScan(conds, ov)
 	}
-	return out
+	return v.clearDriftBitset(conds, ov)
 }
 
-// ClearDrift sets overlay[i] = false for every in-window row matching the
-// conditions, returning how many flags were cleared.
-func (v *View) ClearDrift(conds []Cond, overlay []bool) (int, error) {
+// ClearDriftScan is the retained row-scan oracle for ClearDrift.
+func (v *View) ClearDriftScan(conds []Cond, ov *Overlay) (int, error) {
 	var cleared [numShards]int
 	var errs [numShards]error
 	v.eachShard(func(si int) {
@@ -606,6 +789,7 @@ func (v *View) ClearDrift(conds []Cond, overlay []bool) (int, error) {
 		if !match {
 			return
 		}
+		var words []uint64
 	rows:
 		for i := 0; i < vs.rows; i++ {
 			if !vs.inWindow(v, i) {
@@ -616,8 +800,13 @@ func (v *View) ClearDrift(conds []Cond, overlay []bool) (int, error) {
 					continue rows
 				}
 			}
-			if overlay[vs.offset+i] {
-				overlay[vs.offset+i] = false
+			if words == nil {
+				// Per-shard slots: safe under the parallel fan-out.
+				words = ov.materialize(si)
+			}
+			w, bit := i>>6, uint64(1)<<(uint(i)&63)
+			if words[w]&bit != 0 {
+				words[w] &^= bit
 				cleared[si]++
 			}
 		}
@@ -629,14 +818,38 @@ func (v *View) ClearDrift(conds []Cond, overlay []bool) (int, error) {
 		}
 		n += cleared[si]
 	}
+	if n > 0 {
+		ov.bump()
+	}
 	return n, nil
 }
 
 // AttrValueCounts returns, for each attribute, the per-value totals and
 // drift counts inside the view — the single-pass aggregation the first
-// apriori level needs (one "SQL GROUP BY" per attribute). Shards
-// aggregate independently (in parallel on large views) and merge.
-func (v *View) AttrValueCounts(overlay []bool) map[string]map[string]CountResult {
+// apriori level needs (one "SQL GROUP BY" per attribute). Indexed views
+// answer with one AND + popcount per (attribute, value) bitmap;
+// WindowScan views fall back to the row-scan oracle.
+func (v *View) AttrValueCounts(ov *Overlay) map[string]map[string]CountResult {
+	return v.AttrValueCountsInto(nil, ov)
+}
+
+// AttrValueCountsInto is AttrValueCounts writing into dst (reusing its
+// maps when the attribute sets agree), so a caller aggregating every
+// window can run allocation-free in steady state. dst may be nil.
+func (v *View) AttrValueCountsInto(dst map[string]map[string]CountResult, ov *Overlay) map[string]map[string]CountResult {
+	if v.noIndex {
+		return v.attrValueCountsScanInto(dst, ov)
+	}
+	return v.attrValueCountsBitset(dst, ov)
+}
+
+// AttrValueCountsScan is the retained row-scan oracle for
+// AttrValueCounts.
+func (v *View) AttrValueCountsScan(ov *Overlay) map[string]map[string]CountResult {
+	return v.attrValueCountsScanInto(nil, ov)
+}
+
+func (v *View) attrValueCountsScanInto(dst map[string]map[string]CountResult, ov *Overlay) map[string]map[string]CountResult {
 	var partial [numShards]map[string]map[string]CountResult
 	v.eachShard(func(si int) {
 		vs := &v.shards[si]
@@ -653,10 +866,7 @@ func (v *View) AttrValueCounts(overlay []bool) map[string]map[string]CountResult
 			if !vs.inWindow(v, i) {
 				continue
 			}
-			d := vs.drift[i]
-			if overlay != nil {
-				d = overlay[vs.offset+i]
-			}
+			d := ov.driftAt(vs, si, i)
 			for _, nc := range cols {
 				id := nc.c.ids[i]
 				if id == 0 {
@@ -678,26 +888,43 @@ func (v *View) AttrValueCounts(overlay []bool) map[string]map[string]CountResult
 		}
 		partial[si] = out
 	})
-	out := make(map[string]map[string]CountResult, len(v.attrs))
-	for name := range v.attrs {
-		out[name] = map[string]CountResult{}
-	}
+	out := resetAttrValueCounts(dst, v)
 	for _, p := range partial {
 		for name, byVal := range p {
-			dst := out[name]
-			if dst == nil {
-				dst = map[string]CountResult{}
-				out[name] = dst
+			dstVals := out[name]
+			if dstVals == nil {
+				dstVals = map[string]CountResult{}
+				out[name] = dstVals
 			}
 			for val, cr := range byVal {
-				acc := dst[val]
+				acc := dstVals[val]
 				acc.Total += cr.Total
 				acc.Drift += cr.Drift
-				dst[val] = acc
+				dstVals[val] = acc
 			}
 		}
 	}
 	return out
+}
+
+// namedCol pairs a shard column with its attribute name.
+type namedCol struct {
+	name string
+	c    viewCol
+}
+
+// sortedCols collects the shard's non-excluded columns in name order,
+// so pair keys come out canonical (AttrA < AttrB).
+func (vs *viewShard) sortedCols(exclude map[string]bool) []namedCol {
+	cols := make([]namedCol, 0, len(vs.cols))
+	for name, c := range vs.cols {
+		if exclude[name] {
+			continue
+		}
+		cols = append(cols, namedCol{name, c})
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i].name < cols[j].name })
+	return cols
 }
 
 // PairKey identifies a two-attribute value combination (attributes in
@@ -712,40 +939,34 @@ func (k PairKey) Conds() []Cond {
 	return []Cond{{Attr: k.AttrA, Value: k.ValA}, {Attr: k.AttrB, Value: k.ValB}}
 }
 
-// PairCounts aggregates, in a single scan, the totals and drift counts of
-// every two-attribute value combination present in the view (excluding
-// the listed attributes). This replaces the per-candidate scans of the
-// apriori level-2 join: with k attributes per row it costs O(rows·k²)
-// once instead of O(candidates·rows), and the per-shard scans run in
-// parallel on large views.
-func (v *View) PairCounts(overlay []bool, exclude map[string]bool) map[PairKey]CountResult {
+// PairCounts aggregates the totals and drift counts of every
+// two-attribute value combination present in the view (excluding the
+// listed attributes). This replaces the per-candidate scans of the
+// apriori level-2 join. On indexed views each attribute pair is counted
+// by popcounting the cross product of its value bitmaps (falling back
+// to a row scan for pathologically high-cardinality pairs, see
+// maxPairCross); WindowScan views run the retained grouped row scan.
+func (v *View) PairCounts(ov *Overlay, exclude map[string]bool) map[PairKey]CountResult {
+	if v.noIndex {
+		return v.PairCountsScan(ov, exclude)
+	}
+	return v.pairCountsBitset(ov, exclude)
+}
+
+// PairCountsScan is the retained grouped row-scan oracle for
+// PairCounts: one pass over the rows, O(rows·k²) for k attributes per
+// row, fanned out per shard on large views.
+func (v *View) PairCountsScan(ov *Overlay, exclude map[string]bool) map[PairKey]CountResult {
 	var partial [numShards]map[PairKey]CountResult
 	v.eachShard(func(si int) {
 		vs := &v.shards[si]
-		// Collect the included columns once, in name order so pair keys
-		// are canonical.
-		type namedCol struct {
-			name string
-			c    viewCol
-		}
-		var cols []namedCol
-		for name, c := range vs.cols {
-			if exclude[name] {
-				continue
-			}
-			cols = append(cols, namedCol{name, c})
-		}
-		sort.Slice(cols, func(i, j int) bool { return cols[i].name < cols[j].name })
-
+		cols := vs.sortedCols(exclude)
 		out := map[PairKey]CountResult{}
 		for i := 0; i < vs.rows; i++ {
 			if !vs.inWindow(v, i) {
 				continue
 			}
-			d := vs.drift[i]
-			if overlay != nil {
-				d = overlay[vs.offset+i]
-			}
+			d := ov.driftAt(vs, si, i)
 			for a := 0; a < len(cols); a++ {
 				ida := cols[a].c.ids[i]
 				if ida == 0 {

@@ -261,32 +261,6 @@ func TestAttributesOrder(t *testing.T) {
 	}
 }
 
-func BenchmarkCountScan(b *testing.B) {
-	s := NewStore()
-	now := time.Now()
-	entries := make([]Entry, 0, 100000)
-	for i := 0; i < 100000; i++ {
-		entries = append(entries, Entry{
-			Time:     now.Add(time.Duration(i) * time.Millisecond),
-			Drift:    i%3 == 0,
-			SampleID: -1,
-			Attrs: map[string]string{
-				AttrWeather:  []string{"clear-day", "rain", "snow", "fog"}[i%4],
-				AttrLocation: fmt.Sprintf("city_%d", i%10),
-				AttrDevice:   fmt.Sprintf("dev_%d", i%64),
-			},
-		})
-	}
-	s.AppendBatch(entries)
-	v := s.All()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := v.Count([]Cond{{AttrWeather, "rain"}, {AttrLocation, "city_3"}}, nil); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 func TestPairCounts(t *testing.T) {
 	s := paperExample()
 	pairs := s.All().PairCounts(nil, nil)

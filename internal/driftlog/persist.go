@@ -149,27 +149,45 @@ func (s *Store) Compact(cutoff time.Time) int {
 		for _, name := range sh.order {
 			newCols[name] = newColumn(0)
 		}
+		var newDriftBits []uint64
 		for ni, oi := range keep {
 			newSeqs[ni] = sh.seqs[oi]
 			newTimes[ni] = sh.times[oi]
 			newDrift[ni] = sh.drift[oi]
+			if sh.drift[oi] {
+				newDriftBits = setBit(newDriftBits, ni)
+			}
 			newSamples[ni] = sh.samples[oi]
 			for _, name := range sh.order {
 				old := sh.cols[name]
 				nc := newCols[name]
 				if id := old.ids[oi]; id != 0 {
-					nc.ids = append(nc.ids, nc.intern(old.dict[id]))
+					nid := nc.intern(old.dict[id])
+					nc.ids = append(nc.ids, nid)
+					nc.bits[nid] = setBit(nc.bits[nid], ni)
 				} else {
 					nc.ids = append(nc.ids, 0)
 				}
 			}
 		}
 		sh.seqs, sh.times, sh.drift, sh.samples = newSeqs, newTimes, newDrift, newSamples
+		sh.driftBits = newDriftBits
 		sh.cols = newCols
 		sh.mu.Unlock()
 	}
+	if removed > 0 {
+		// Row indices shifted: invalidate watermark-keyed caches.
+		s.compactions.Add(1)
+	}
 	s.compacted.Add(int64(removed))
 	return removed
+}
+
+// Compactions counts Compact calls that removed rows — the generation
+// component of any cache keyed on per-shard row watermarks (compaction
+// renumbers rows, so watermarks from an earlier generation are void).
+func (s *Store) Compactions() int64 {
+	return s.compactions.Load()
 }
 
 // SaveFile atomically writes the log to path (temp file + rename).

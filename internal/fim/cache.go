@@ -1,0 +1,185 @@
+// Memoized support counting and the cross-window mining cache.
+//
+// Within one analysis window the same itemset is counted repeatedly —
+// by the apriori passes, set reduction and counterfactual rescoring —
+// so SupportCache memoizes (itemset key, overlay epoch) → CountResult.
+// The overlay epoch (driftlog.Overlay.Epoch) is the invalidation rule:
+// epoch 0 is "stored drift flags" and every mutating ClearDrift stamps
+// a fresh globally unique epoch, so entries computed under an older
+// counterfactual state can never be served for a newer one.
+//
+// Across windows, MineCache carries the epoch-0 counts a finished mine
+// produced (totals, level-1 group-bys, pair counts, per-candidate set
+// counts), so re-mining a grown window only counts the delta rows (see
+// MineCachedContext).
+package fim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"nazar/internal/driftlog"
+)
+
+// supportCacheKey identifies one memoized count: the itemset's
+// canonical key ("" = window totals) under one overlay epoch.
+type supportCacheKey struct {
+	items string
+	epoch uint64
+}
+
+// SupportCache memoizes support counts against one view. It is safe for
+// concurrent use (parallel candidate counting and subset rescoring
+// share it).
+type SupportCache struct {
+	v  *driftlog.View
+	mu sync.Mutex
+	m  map[supportCacheKey]driftlog.CountResult
+}
+
+// NewSupportCache returns an empty memo over v.
+func NewSupportCache(v *driftlog.View) *SupportCache {
+	return &SupportCache{v: v, m: map[supportCacheKey]driftlog.CountResult{}}
+}
+
+// View returns the view the cache memoizes against.
+func (sc *SupportCache) View() *driftlog.View { return sc.v }
+
+// supportCacheHits / supportCacheMisses are cumulative package counters,
+// exposed as gauges by the observability layer.
+var (
+	supportCacheHits   atomic.Uint64
+	supportCacheMisses atomic.Uint64
+)
+
+// SupportCacheStats is a snapshot of the package-wide memo counters.
+type SupportCacheStats struct {
+	Hits, Misses uint64
+}
+
+// ReadSupportCacheStats returns the cumulative hit/miss counters across
+// all SupportCaches in the process.
+func ReadSupportCacheStats() SupportCacheStats {
+	return SupportCacheStats{
+		Hits:   supportCacheHits.Load(),
+		Misses: supportCacheMisses.Load(),
+	}
+}
+
+// epochOf maps an overlay to its cache epoch (nil = stored flags = 0).
+func epochOf(ov *driftlog.Overlay) uint64 {
+	if ov == nil {
+		return 0
+	}
+	return ov.Epoch()
+}
+
+// count returns the memoized count for the itemset (key must be
+// set.Key(); "" with a nil set means window totals), computing and
+// recording it on miss.
+func (sc *SupportCache) count(key string, set Itemset, ov *driftlog.Overlay) (driftlog.CountResult, error) {
+	k := supportCacheKey{items: key, epoch: epochOf(ov)}
+	sc.mu.Lock()
+	cr, ok := sc.m[k]
+	sc.mu.Unlock()
+	if ok {
+		supportCacheHits.Add(1)
+		return cr, nil
+	}
+	supportCacheMisses.Add(1)
+	cr, err := sc.v.Count(set, ov)
+	if err != nil {
+		return driftlog.CountResult{}, err
+	}
+	sc.mu.Lock()
+	sc.m[k] = cr
+	sc.mu.Unlock()
+	return cr, nil
+}
+
+// seed records an already-known count so later rescores hit.
+func (sc *SupportCache) seed(key string, epoch uint64, cr driftlog.CountResult) {
+	sc.mu.Lock()
+	sc.m[supportCacheKey{items: key, epoch: epoch}] = cr
+	sc.mu.Unlock()
+}
+
+// MineCache is the reusable output of one full mine at overlay epoch 0:
+// every count the apriori passes computed, keyed so a later window that
+// strictly grew the row set (same lower bound, same or later upper
+// bound, no intervening compaction) can count only its delta rows and
+// add. The caller (internal/cloud) is responsible for pairing it with
+// the matching delta view — MineCachedContext trusts that contract.
+// Thresholds must be identical across the runs sharing a cache (the
+// excluded-attribute set shapes the stored pair counts).
+type MineCache struct {
+	complete bool // full pipeline ran (drift was present)
+	totals   driftlog.CountResult
+	level1   map[string]map[string]driftlog.CountResult
+	pairs    map[driftlog.PairKey]driftlog.CountResult
+	sets     map[string]driftlog.CountResult // itemset key → count (levels ≥ 3)
+	// results and th replay the window's final output outright when a
+	// later run proves its delta is empty (identical row set ⇒ identical
+	// deterministic output, provided the thresholds match too).
+	results []Result
+	th      Thresholds
+}
+
+// sameThresholds reports field-wise equality (Thresholds holds a slice,
+// so == does not apply).
+func sameThresholds(a, b Thresholds) bool {
+	if a.MinOccurrence != b.MinOccurrence || a.MinSupport != b.MinSupport ||
+		a.MinConfidence != b.MinConfidence || a.MinRiskRatio != b.MinRiskRatio ||
+		a.MaxItems != b.MaxItems || len(a.ExcludeAttrs) != len(b.ExcludeAttrs) {
+		return false
+	}
+	for i := range a.ExcludeAttrs {
+		if a.ExcludeAttrs[i] != b.ExcludeAttrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// addCR adds two counts.
+func addCR(a, b driftlog.CountResult) driftlog.CountResult {
+	a.Total += b.Total
+	a.Drift += b.Drift
+	return a
+}
+
+// mergeLevel1 copy-merges the previous window's group-by with the
+// delta's (never mutating prev, which the caller may retain).
+func mergeLevel1(prev, delta map[string]map[string]driftlog.CountResult) map[string]map[string]driftlog.CountResult {
+	out := make(map[string]map[string]driftlog.CountResult, len(delta))
+	for attr, vals := range prev {
+		dst := make(map[string]driftlog.CountResult, len(vals))
+		for val, cr := range vals {
+			dst[val] = cr
+		}
+		out[attr] = dst
+	}
+	for attr, vals := range delta {
+		dst := out[attr]
+		if dst == nil {
+			dst = make(map[string]driftlog.CountResult, len(vals))
+			out[attr] = dst
+		}
+		for val, cr := range vals {
+			dst[val] = addCR(dst[val], cr)
+		}
+	}
+	return out
+}
+
+// mergePairs copy-merges pair counts.
+func mergePairs(prev, delta map[driftlog.PairKey]driftlog.CountResult) map[driftlog.PairKey]driftlog.CountResult {
+	out := make(map[driftlog.PairKey]driftlog.CountResult, len(prev)+len(delta))
+	for k, cr := range prev {
+		out[k] = cr
+	}
+	for k, cr := range delta {
+		out[k] = addCR(out[k], cr)
+	}
+	return out
+}

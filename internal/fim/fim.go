@@ -169,8 +169,8 @@ func ComputeMetrics(c driftlog.CountResult, totalRows, totalDrift int) Metrics {
 // returns every itemset of size ≤ MaxItems passing all thresholds,
 // ranked by risk ratio (descending), with occurrence, then smaller size,
 // then key as deterministic tie-breakers.
-func Mine(v *driftlog.View, overlay []bool, th Thresholds) ([]Result, error) {
-	return MineContext(context.Background(), v, overlay, th)
+func Mine(v *driftlog.View, ov *driftlog.Overlay, th Thresholds) ([]Result, error) {
+	return MineContext(context.Background(), v, ov, th)
 }
 
 // MineContext is Mine with cooperative cancellation: the context is
@@ -178,27 +178,83 @@ func Mine(v *driftlog.View, overlay []bool, th Thresholds) ([]Result, error) {
 // chunks, so a cancelled analysis returns ctx.Err() without finishing the
 // sweep. For a context that is never cancelled the result is identical to
 // Mine at any worker-pool width.
-func MineContext(ctx context.Context, v *driftlog.View, overlay []bool, th Thresholds) ([]Result, error) {
+func MineContext(ctx context.Context, v *driftlog.View, ov *driftlog.Overlay, th Thresholds) ([]Result, error) {
+	results, _, err := MineCachedContext(ctx, NewSupportCache(v), nil, nil, ov, th)
+	return results, err
+}
+
+// MineCachedContext is the full mining entry point: it memoizes every
+// count it computes into sc (so set reduction and counterfactual
+// rescoring reuse them), and — when ov is nil — returns a MineCache for
+// the next window.
+//
+// When delta and prev are both non-nil (and ov is nil), mining is
+// incremental: delta must be the Since-derived delta view of sc.View()
+// relative to the window prev was mined over, and every aggregate is
+// computed as prev's count plus a count over only the delta rows. The
+// results are identical to a fresh mine by construction (counts are
+// exact integers and additive over the delta decomposition).
+func MineCachedContext(ctx context.Context, sc *SupportCache, delta *driftlog.View, prev *MineCache, ov *driftlog.Overlay, th Thresholds) ([]Result, *MineCache, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if th.MaxItems <= 0 {
 		th.MaxItems = 3
 	}
-	totals, err := windowTotals(v, overlay)
+	v := sc.View()
+	inc := delta != nil && prev != nil && prev.complete && ov == nil
+	epoch := epochOf(ov)
+	var next *MineCache
+	if ov == nil {
+		next = &MineCache{}
+	}
+
+	var totals driftlog.CountResult
+	var err error
+	if inc {
+		var dt driftlog.CountResult
+		dt, err = delta.Count(nil, nil)
+		if err == nil {
+			if dt.Total == 0 && sameThresholds(th, prev.th) {
+				// Empty delta: the row set is identical to the window
+				// prev was mined over, so the deterministic output is
+				// too — replay it without touching a single bitmap.
+				sc.seed("", 0, prev.totals)
+				return append([]Result(nil), prev.results...), prev, nil
+			}
+			totals = addCR(prev.totals, dt)
+			sc.seed("", 0, totals)
+		}
+	} else {
+		totals, err = sc.count("", nil, ov)
+	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if next != nil {
+		next.totals = totals
 	}
 	if totals.Drift == 0 {
-		return nil, nil // nothing drifted: no causes to mine
+		// Nothing drifted: no causes to mine. The cache stays incomplete
+		// (totals only), so a grown window re-mines from scratch.
+		return nil, next, nil
 	}
 	excluded := map[string]bool{}
 	for _, a := range th.ExcludeAttrs {
 		excluded[a] = true
 	}
 
-	// Level 1 via one grouped pass.
-	valueCounts := v.AttrValueCounts(overlay)
+	// Level 1 via one grouped pass (or prev + a grouped pass over only
+	// the delta rows).
+	var valueCounts map[string]map[string]driftlog.CountResult
+	if inc {
+		valueCounts = mergeLevel1(prev.level1, delta.AttrValueCounts(nil))
+	} else {
+		valueCounts = v.AttrValueCounts(ov)
+	}
+	if next != nil {
+		next.level1 = valueCounts
+	}
 	var level []counted
 	for attr, values := range valueCounts {
 		if excluded[attr] {
@@ -207,7 +263,9 @@ func MineContext(ctx context.Context, v *driftlog.View, overlay []bool, th Thres
 		for val, cr := range values {
 			m := ComputeMetrics(cr, totals.Total, totals.Drift)
 			if m.Occurrence >= th.MinOccurrence {
-				level = append(level, counted{NewItemset(driftlog.Cond{Attr: attr, Value: val}), cr})
+				key := attr + "=" + val
+				sc.seed(key, epoch, cr)
+				level = append(level, counted{NewItemset(driftlog.Cond{Attr: attr, Value: val}), key, cr})
 			}
 		}
 	}
@@ -220,72 +278,105 @@ func MineContext(ctx context.Context, v *driftlog.View, overlay []bool, th Thres
 	// pairs are counted in a single scan (O(rows·k²) for k attributes)
 	// instead of one scan per candidate pair.
 	if th.MaxItems >= 2 && len(level) > 1 {
-		frequent := map[string]bool{}
+		frequent := make(map[string]bool, len(level))
 		for _, c := range level {
-			frequent[c.set.Key()] = true
+			frequent[c.key] = true
 		}
-		pairCounts := v.PairCounts(overlay, excluded)
-		var next []counted
+		var pairCounts map[driftlog.PairKey]driftlog.CountResult
+		if inc {
+			pairCounts = mergePairs(prev.pairs, delta.PairCounts(nil, excluded))
+		} else {
+			pairCounts = v.PairCounts(ov, excluded)
+		}
+		if next != nil {
+			next.pairs = pairCounts
+		}
+		var nextLevel []counted
 		for pk, cr := range pairCounts {
 			// Apriori pruning: both member singletons must be frequent.
-			a := NewItemset(driftlog.Cond{Attr: pk.AttrA, Value: pk.ValA})
-			b := NewItemset(driftlog.Cond{Attr: pk.AttrB, Value: pk.ValB})
-			if !frequent[a.Key()] || !frequent[b.Key()] {
+			// Keys are assembled from the pair parts (PairKey attributes
+			// are already in canonical order), not via Itemset.Key, so
+			// rejected candidates cost no itemset construction.
+			if !frequent[pk.AttrA+"="+pk.ValA] || !frequent[pk.AttrB+"="+pk.ValB] {
 				continue
 			}
 			m := ComputeMetrics(cr, totals.Total, totals.Drift)
 			if m.Occurrence >= th.MinOccurrence {
-				next = append(next, counted{NewItemset(pk.Conds()...), cr})
+				key := pk.AttrA + "=" + pk.ValA + "|" + pk.AttrB + "=" + pk.ValB
+				sc.seed(key, epoch, cr)
+				nextLevel = append(nextLevel, counted{NewItemset(pk.Conds()...), key, cr})
 			}
 		}
-		sortCounted(next)
-		all = append(all, next...)
-		level = next
+		sortCounted(nextLevel)
+		all = append(all, nextLevel...)
+		level = nextLevel
 	}
 
 	// Levels 3..MaxItems: apriori join of frequent (k-1)-sets with
 	// per-candidate counting (candidate counts are small by level 3).
 	// Candidates are generated sequentially (cheap, deterministic) and
 	// counted in parallel into index-addressed slots, so the result is
-	// identical at any worker-pool width.
+	// identical at any worker-pool width. Candidate keys are built once
+	// here and reused for dedup, memo seeding, the cross-window cache
+	// and the final sort.
 	for k := 3; k <= th.MaxItems && len(level) > 1; k++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		seen := map[string]bool{}
 		var cands []Itemset
+		var candKeys []string
 		for i := 0; i < len(level); i++ {
 			for j := i + 1; j < len(level); j++ {
 				cand, ok := join(level[i].set, level[j].set)
-				if !ok || len(cand) != k || seen[cand.Key()] {
+				if !ok || len(cand) != k {
 					continue
 				}
-				seen[cand.Key()] = true
+				key := cand.Key()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
 				cands = append(cands, cand)
+				candKeys = append(candKeys, key)
 			}
 		}
 		counts := make([]driftlog.CountResult, len(cands))
 		errs := make([]error, len(cands))
 		if err := tensor.ParallelForCtx(ctx, len(cands), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				counts[i], errs[i] = v.Count(cands[i], overlay)
+				if inc {
+					if pc, ok := prev.sets[candKeys[i]]; ok {
+						dc, derr := delta.Count(cands[i], nil)
+						counts[i], errs[i] = addCR(pc, dc), derr
+						continue
+					}
+				}
+				counts[i], errs[i] = v.Count(cands[i], ov)
 			}
 		}); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		var next []counted
+		var nextLevel []counted
 		for i, cand := range cands {
 			if errs[i] != nil {
-				return nil, errs[i]
+				return nil, nil, errs[i]
+			}
+			if next != nil {
+				if next.sets == nil {
+					next.sets = map[string]driftlog.CountResult{}
+				}
+				next.sets[candKeys[i]] = counts[i]
 			}
 			m := ComputeMetrics(counts[i], totals.Total, totals.Drift)
 			if m.Occurrence >= th.MinOccurrence {
-				next = append(next, counted{cand, counts[i]})
+				sc.seed(candKeys[i], epoch, counts[i])
+				nextLevel = append(nextLevel, counted{cand, candKeys[i], counts[i]})
 			}
 		}
-		sortCounted(next)
-		all = append(all, next...)
-		level = next
+		sortCounted(nextLevel)
+		all = append(all, nextLevel...)
+		level = nextLevel
 	}
 
 	// Final filtering and ranking.
@@ -297,7 +388,12 @@ func MineContext(ctx context.Context, v *driftlog.View, overlay []bool, th Thres
 		}
 	}
 	Rank(results)
-	return results, nil
+	if next != nil {
+		next.complete = true
+		next.results = append([]Result(nil), results...)
+		next.th = th
+	}
+	return results, next, nil
 }
 
 // Rank orders results by smoothed risk ratio, occurrence, smaller size,
@@ -320,21 +416,23 @@ func Rank(results []Result) {
 
 // Rescore recomputes an itemset's metrics against the view with the given
 // overlay — used by counterfactual analysis after clearing drift flags.
-func Rescore(v *driftlog.View, set Itemset, overlay []bool) (Result, error) {
-	totals, err := windowTotals(v, overlay)
+func Rescore(v *driftlog.View, set Itemset, ov *driftlog.Overlay) (Result, error) {
+	return RescoreCached(NewSupportCache(v), set, ov)
+}
+
+// RescoreCached is Rescore through a shared memo: window totals and
+// repeated subset counts under one overlay epoch are computed once per
+// epoch instead of once per call.
+func RescoreCached(sc *SupportCache, set Itemset, ov *driftlog.Overlay) (Result, error) {
+	totals, err := sc.count("", nil, ov)
 	if err != nil {
 		return Result{}, err
 	}
-	cr, err := v.Count(set, overlay)
+	cr, err := sc.count(set.Key(), set, ov)
 	if err != nil {
 		return Result{}, err
 	}
 	return Result{Items: set, Counts: cr, Metrics: ComputeMetrics(cr, totals.Total, totals.Drift)}, nil
-}
-
-// windowTotals counts rows and drift rows inside the view.
-func windowTotals(v *driftlog.View, overlay []bool) (driftlog.CountResult, error) {
-	return v.Count(nil, overlay)
 }
 
 // join merges two same-size itemsets into a candidate one item larger,
@@ -360,15 +458,18 @@ func join(a, b Itemset) (Itemset, bool) {
 	return NewItemset(conds...), true
 }
 
-// counted pairs a candidate itemset with its window counts.
+// counted pairs a candidate itemset with its canonical key (computed
+// once — never rebuilt inside the mining loops) and its window counts.
 type counted struct {
 	set    Itemset
+	key    string
 	counts driftlog.CountResult
 }
 
-// sortCounted orders candidates deterministically by key.
+// sortCounted orders candidates deterministically by their precomputed
+// keys (the comparator allocates nothing).
 func sortCounted(cs []counted) {
-	sort.Slice(cs, func(i, j int) bool { return cs[i].set.Key() < cs[j].set.Key() })
+	sort.Slice(cs, func(i, j int) bool { return cs[i].key < cs[j].key })
 }
 
 // FormatResult renders one row like Table 3.

@@ -1,0 +1,188 @@
+package fim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"nazar/internal/driftlog"
+)
+
+// synthLog builds a drifting log with enough attribute structure for
+// multi-level itemsets to pass the default thresholds.
+func synthLog(r *rand.Rand, n int) *driftlog.Store {
+	s := driftlog.NewStore()
+	base := time.Unix(0, 0).UTC()
+	var batch []driftlog.Entry
+	for i := 0; i < n; i++ {
+		weather := []string{"clear-day", "rain", "snow"}[r.Intn(3)]
+		loc := fmt.Sprintf("city_%d", r.Intn(4))
+		// Correlated drift: snow drifts hard, snow+city_1 harder.
+		p := 0.05
+		if weather == "snow" {
+			p = 0.6
+			if loc == "city_1" {
+				p = 0.9
+			}
+		}
+		batch = append(batch, driftlog.Entry{
+			Time:     base.Add(time.Duration(r.Intn(1000)) * time.Second),
+			Drift:    r.Float64() < p,
+			SampleID: -1,
+			Attrs: map[string]string{
+				driftlog.AttrWeather:  weather,
+				driftlog.AttrLocation: loc,
+				driftlog.AttrDevice:   fmt.Sprintf("dev_%d", r.Intn(6)),
+			},
+		})
+	}
+	s.AppendBatch(batch)
+	return s
+}
+
+// TestIncrementalMineMatchesFresh grows a log in stages and requires
+// the cache-carried incremental mine to return exactly what a fresh
+// full mine over the same window returns — results, order, and metrics.
+func TestIncrementalMineMatchesFresh(t *testing.T) {
+	th := DefaultThresholds()
+	for seed := int64(0); seed < 6; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		s := synthLog(r, 3000)
+
+		v1 := s.All()
+		prevRows := v1.ShardRows()
+		_, prevTo := v1.Bounds()
+		sc1 := NewSupportCache(v1)
+		res1, cache1, err := MineCachedContext(context.Background(), sc1, nil, nil, nil, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain, err := Mine(v1, nil, th); err != nil || !reflect.DeepEqual(res1, plain) {
+			t.Fatalf("seed %d: cached fresh mine diverges from Mine (err %v)", seed, err)
+		}
+
+		// Grow the log; mine the grown window incrementally and fresh.
+		var more []driftlog.Entry
+		base := time.Unix(0, 0).UTC()
+		r2 := rand.New(rand.NewSource(seed + 100))
+		for i := 0; i < 1200; i++ {
+			weather := []string{"clear-day", "rain", "snow"}[r2.Intn(3)]
+			more = append(more, driftlog.Entry{
+				Time:     base.Add(time.Duration(r2.Intn(1000)) * time.Second),
+				Drift:    weather == "snow" && r2.Float64() < 0.7,
+				SampleID: -1,
+				Attrs: map[string]string{
+					driftlog.AttrWeather:  weather,
+					driftlog.AttrLocation: fmt.Sprintf("city_%d", r2.Intn(4)),
+				},
+			})
+		}
+		s.AppendBatch(more)
+
+		v2 := s.All()
+		delta, err := v2.Since(prevRows, prevTo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resInc, cache2, err := MineCachedContext(context.Background(), NewSupportCache(v2), delta, cache1, nil, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resFresh, _, err := MineCachedContext(context.Background(), NewSupportCache(v2), nil, nil, nil, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(resInc, resFresh) {
+			t.Fatalf("seed %d: incremental mine diverges from fresh\ninc   %v\nfresh %v", seed, resInc, resFresh)
+		}
+		if cache2 == nil {
+			t.Fatalf("seed %d: incremental mine returned no cache", seed)
+		}
+
+		// A second incremental pass over an unchanged window (empty
+		// delta) must again be identical.
+		v3 := s.All()
+		_, to3 := v3.Bounds()
+		empty, err := v3.Since(v2.ShardRows(), to3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resAgain, _, err := MineCachedContext(context.Background(), NewSupportCache(v3), empty, cache2, nil, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(resAgain, resFresh) {
+			t.Fatalf("seed %d: empty-delta re-mine diverges from fresh", seed)
+		}
+	}
+}
+
+// TestIncrementalMineWithOverlayFallsBack: an overlay forces a full
+// mine (counterfactual counts cannot be cached across windows), and no
+// cache may be produced under one.
+func TestIncrementalMineWithOverlayFallsBack(t *testing.T) {
+	s := synthLog(rand.New(rand.NewSource(9)), 2000)
+	v := s.All()
+	ov := v.DriftOverlay()
+	defer ov.Release()
+	res, cache, err := MineCachedContext(context.Background(), NewSupportCache(v), nil, nil, ov, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache != nil {
+		t.Fatal("mining under an overlay must not produce a reusable cache")
+	}
+	plain, err := Mine(v, nil, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, plain) {
+		t.Fatal("overlay mine with untouched overlay diverges from plain mine")
+	}
+}
+
+// TestSupportCacheMemoizes: repeated rescores of one itemset under one
+// epoch hit the memo instead of recounting.
+func TestSupportCacheMemoizes(t *testing.T) {
+	s := synthLog(rand.New(rand.NewSource(3)), 1000)
+	v := s.All()
+	sc := NewSupportCache(v)
+	set := NewItemset(driftlog.Cond{Attr: driftlog.AttrWeather, Value: "snow"})
+	before := ReadSupportCacheStats()
+	r1, err := RescoreCached(sc, set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := ReadSupportCacheStats()
+	r2, err := RescoreCached(sc, set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := ReadSupportCacheStats()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("memoized rescore diverges")
+	}
+	if after.Misses != mid.Misses {
+		t.Fatalf("second rescore recounted: misses %d -> %d", mid.Misses, after.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatal("second rescore did not hit the memo")
+	}
+
+	// A mutating clear advances the epoch: stale entries must not serve.
+	ov := v.DriftOverlay()
+	defer ov.Release()
+	if _, err := v.ClearDrift(set, ov); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := RescoreCached(sc, set, ov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Metrics.Support == r1.Metrics.Support && r1.Metrics.Support != 0 {
+		t.Fatal("post-clear rescore served the pre-clear support")
+	}
+}

@@ -4,9 +4,12 @@ import (
 	"math"
 	"reflect"
 	"testing"
+	"time"
 
 	"nazar/internal/dataset"
+	"nazar/internal/driftlog"
 	"nazar/internal/nn"
+	"nazar/internal/rca"
 	"nazar/internal/tensor"
 )
 
@@ -103,5 +106,69 @@ func TestModelPassDeterministicAcrossPoolWidths(t *testing.T) {
 				t.Fatalf("gradient %d diverges across pool widths at %d", k, i)
 			}
 		}
+	}
+}
+
+// TestAnalysisDeterministicAcrossIndexAndPoolWidths extends the
+// pool-width contract to the bitset-indexed analytics: root-cause
+// analysis over the same synthetic drift log must produce identical
+// causes at pool widths 1 and 8, on the popcount path and on the
+// retained row-scan path.
+func TestAnalysisDeterministicAcrossIndexAndPoolWidths(t *testing.T) {
+	s := driftlog.NewStore()
+	base := time.Unix(0, 0).UTC()
+	var batch []driftlog.Entry
+	for i := 0; i < 5000; i++ {
+		weather := []string{"clear-day", "rain", "snow", "fog"}[i%4]
+		drift := i%17 == 0
+		if weather == "fog" {
+			drift = i%3 != 0
+		}
+		batch = append(batch, driftlog.Entry{
+			Time:     base.Add(time.Duration(i) * time.Second),
+			Drift:    drift,
+			SampleID: -1,
+			Attrs: map[string]string{
+				driftlog.AttrWeather:  weather,
+				driftlog.AttrLocation: []string{"Hamburg", "Zurich", "Bremen"}[i%3],
+				driftlog.AttrDevice:   []string{"dev_a", "dev_b"}[i%2],
+			},
+		})
+	}
+	s.AppendBatch(batch)
+
+	type variant struct {
+		name    string
+		workers int
+		scan    bool
+	}
+	var got [][]rca.Cause
+	var names []string
+	for _, va := range []variant{
+		{"bitset/1", 1, false}, {"bitset/8", 8, false},
+		{"scan/1", 1, true}, {"scan/8", 8, true},
+	} {
+		tensor.SetMaxWorkers(va.workers)
+		var v *driftlog.View
+		if va.scan {
+			v = s.WindowScan(time.Time{}, time.Time{})
+		} else {
+			v = s.All()
+		}
+		causes, err := rca.Analyze(v, rca.DefaultConfig(), rca.Full)
+		tensor.SetMaxWorkers(0)
+		if err != nil {
+			t.Fatalf("%s: %v", va.name, err)
+		}
+		got = append(got, causes)
+		names = append(names, va.name)
+	}
+	for i := 1; i < len(got); i++ {
+		if !reflect.DeepEqual(got[0], got[i]) {
+			t.Fatalf("analysis diverges: %s vs %s\n%v\n%v", names[0], names[i], got[0], got[i])
+		}
+	}
+	if len(got[0]) == 0 {
+		t.Fatal("synthetic log produced no causes")
 	}
 }

@@ -9,6 +9,7 @@ package rca
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
 
 	"nazar/internal/driftlog"
 	"nazar/internal/fim"
@@ -124,28 +125,64 @@ func Analyze(v *driftlog.View, cfg Config, mode Mode) ([]Cause, error) {
 // between worker-pool chunks, returning ctx.Err() when the analysis is
 // abandoned mid-window.
 func AnalyzeContext(ctx context.Context, v *driftlog.View, cfg Config, mode Mode) ([]Cause, error) {
-	results, err := fim.MineContext(ctx, v, nil, cfg.Thresholds)
+	causes, _, err := AnalyzeIncrementalContext(ctx, v, nil, nil, cfg, mode)
+	return causes, err
+}
+
+// AnalyzeIncrementalContext is AnalyzeContext with the cross-window
+// mining cache threaded through: when delta is the Since-derived delta
+// view of v relative to the window prevMine was produced over, the
+// apriori passes count only the delta rows (see fim.MineCachedContext).
+// It returns the causes plus the mining cache of this window for the
+// next run; passing nil delta/prevMine degrades to a fresh analysis.
+//
+// All three stages share one support memo, so set reduction and
+// counterfactual rescoring reuse mining's counts; each stage runs under
+// a pprof label (nazar_stage = mine / set-reduction / counterfactual)
+// so CPU profiles attribute time per stage.
+func AnalyzeIncrementalContext(ctx context.Context, v *driftlog.View, delta *driftlog.View, prevMine *fim.MineCache, cfg Config, mode Mode) ([]Cause, *fim.MineCache, error) {
+	sc := fim.NewSupportCache(v)
+	var results []fim.Result
+	var nextMine *fim.MineCache
+	var err error
+	pprof.Do(ctx, pprof.Labels("nazar_stage", "mine"), func(ctx context.Context) {
+		results, nextMine, err = fim.MineCachedContext(ctx, sc, delta, prevMine, nil, cfg.Thresholds)
+	})
 	if err != nil {
 		if ctx.Err() != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return nil, fmt.Errorf("rca: mining: %w", err)
+		return nil, nil, fmt.Errorf("rca: mining: %w", err)
 	}
 	switch mode {
 	case FIMOnly:
-		return toCauses(results), nil
+		return toCauses(results), nextMine, nil
 	case FIMSetReduction:
-		assocs := SetReduction(results)
-		coarse := make([]fim.Result, len(assocs))
-		for i, a := range assocs {
-			coarse[i] = a.Coarse
-		}
-		return toCauses(coarse), nil
+		var causes []Cause
+		pprof.Do(ctx, pprof.Labels("nazar_stage", "set-reduction"), func(context.Context) {
+			assocs := SetReduction(results)
+			coarse := make([]fim.Result, len(assocs))
+			for i, a := range assocs {
+				coarse[i] = a.Coarse
+			}
+			causes = toCauses(coarse)
+		})
+		return causes, nextMine, nil
 	case Full:
-		assocs := SetReduction(results)
-		return CounterfactualContext(ctx, v, assocs, cfg.Thresholds)
+		var assocs []Association
+		pprof.Do(ctx, pprof.Labels("nazar_stage", "set-reduction"), func(context.Context) {
+			assocs = SetReduction(results)
+		})
+		var causes []Cause
+		pprof.Do(ctx, pprof.Labels("nazar_stage", "counterfactual"), func(ctx context.Context) {
+			causes, err = counterfactualCached(ctx, sc, assocs, cfg.Thresholds)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return causes, nextMine, nil
 	default:
-		return nil, fmt.Errorf("rca: unknown mode %v", mode)
+		return nil, nil, fmt.Errorf("rca: unknown mode %v", mode)
 	}
 }
 
@@ -161,13 +198,24 @@ func Counterfactual(v *driftlog.View, assocs []Association, th fim.Thresholds) (
 // CounterfactualContext is Counterfactual with cooperative cancellation
 // (checked once per association and between rescoring chunks).
 func CounterfactualContext(ctx context.Context, v *driftlog.View, assocs []Association, th fim.Thresholds) ([]Cause, error) {
+	return counterfactualCached(ctx, fim.NewSupportCache(v), assocs, th)
+}
+
+// counterfactualCached runs the counterfactual loop on a bitset overlay
+// (released back to its pool on return) with all rescoring going
+// through the shared support memo: totals and repeated subset counts
+// under one overlay epoch are counted once, and a mutating ClearDrift
+// advances the epoch so stale entries can never be served.
+func counterfactualCached(ctx context.Context, sc *fim.SupportCache, assocs []Association, th fim.Thresholds) ([]Cause, error) {
+	v := sc.View()
 	overlay := v.DriftOverlay()
+	defer overlay.Release()
 	var causes []Cause
 	for _, a := range assocs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		re, err := fim.Rescore(v, a.Coarse.Items, overlay)
+		re, err := fim.RescoreCached(sc, a.Coarse.Items, overlay)
 		if err != nil {
 			return nil, fmt.Errorf("rca: rescoring %s: %w", a.Coarse.Items, err)
 		}
@@ -187,7 +235,7 @@ func CounterfactualContext(ctx context.Context, v *driftlog.View, assocs []Assoc
 		errs := make([]error, len(a.Subsets))
 		if err := tensor.ParallelForCtx(ctx, len(a.Subsets), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				reSubs[i], errs[i] = fim.Rescore(v, a.Subsets[i].Items, overlay)
+				reSubs[i], errs[i] = fim.RescoreCached(sc, a.Subsets[i].Items, overlay)
 			}
 		}); err != nil {
 			return nil, err
