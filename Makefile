@@ -6,11 +6,13 @@ GO ?= go
 # Packages with dedicated concurrency stress tests; the race detector is
 # mandatory for them (sharded stores, batched ingest, HTTP surface, the
 # shared workspace arena under the compute kernels, the spooling
-# transport and its fault injector, and the bitset-indexed analytics
-# with their shared support caches).
+# transport and its fault injector, the bitset-indexed analytics with
+# their shared support caches, and the WAL — concurrent appends,
+# background compaction, and the crash matrix all live under
+# internal/driftlog, with the service-level wiring under internal/cloud).
 RACE_PKGS = ./internal/cloud/... ./internal/driftlog/... ./internal/fim/... ./internal/rca/... ./internal/httpapi/... ./internal/tensor/... ./internal/transport/... ./internal/faultinject/...
 
-.PHONY: ci vet staticcheck build test race race-chaos chaos fuzz bench bench-kernels bench-analysis bench-smoke clean
+.PHONY: ci vet staticcheck build test race race-chaos chaos fuzz fuzz-smoke bench bench-kernels bench-analysis bench-wal bench-smoke clean
 
 ci: vet staticcheck build test race race-chaos
 
@@ -54,6 +56,19 @@ fuzz:
 	$(GO) test ./internal/httpapi/ -run '^$$' -fuzz FuzzIngestBatch -fuzztime 30s
 	$(GO) test ./internal/httpapi/ -run '^$$' -fuzz FuzzAnalyzeRequest -fuzztime 30s
 
+# 30 seconds of coverage-guided fuzzing per target across every fuzz
+# entry point in the repo: the HTTP decoders, the drift-log snapshot
+# reader, the count differential, the fault-schedule parser, and WAL
+# replay. CI runs this on every push; interesting inputs it finds
+# should be committed under the package's testdata/fuzz corpus.
+fuzz-smoke:
+	$(GO) test ./internal/httpapi/ -run '^$$' -fuzz FuzzIngestBatch -fuzztime 30s
+	$(GO) test ./internal/httpapi/ -run '^$$' -fuzz FuzzAnalyzeRequest -fuzztime 30s
+	$(GO) test ./internal/driftlog/ -run '^$$' -fuzz FuzzReadFrom -fuzztime 30s
+	$(GO) test ./internal/driftlog/ -run '^$$' -fuzz FuzzCountDifferential -fuzztime 30s
+	$(GO) test ./internal/driftlog/ -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s
+	$(GO) test ./internal/faultinject/ -run '^$$' -fuzz FuzzParseSchedule -fuzztime 30s
+
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkRunWindow$$' -benchtime 2s .
 
@@ -80,6 +95,17 @@ bench-analysis:
 	$(GO) run ./cmd/benchjson < bench-analysis.out > BENCH_analysis.json
 	@rm -f bench-analysis.out
 	@echo "wrote BENCH_analysis.json"
+
+# Durability benchmarks: append throughput with and without the WAL in
+# front of the store (the nowal-vs-wal pair reads as the fsync overhead
+# factor) and cold-start replay rate over segment-heavy and
+# snapshot-heavy directory layouts. Results land in BENCH_wal.json.
+bench-wal:
+	$(GO) test -run '^$$' -bench 'BenchmarkDriftlogAppend|BenchmarkWALReplay' -benchmem -benchtime 0.5s -count 5 \
+		./internal/driftlog/ | tee bench-wal.out
+	$(GO) run ./cmd/benchjson < bench-wal.out > BENCH_wal.json
+	@rm -f bench-wal.out
+	@echo "wrote BENCH_wal.json"
 
 # One-iteration pass over every benchmark in the repo — the CI smoke
 # check that none of them rotted.

@@ -133,13 +133,16 @@ func parseBenchLine(line string) (Benchmark, bool) {
 
 // variantPairs lists the fast/slow sub-benchmark variant names that
 // fold into a headline speedup: blocked-vs-reference kernels,
-// bitset-vs-scan analytics, cached-vs-first window re-mining, and
-// keyed-vs-rebuild candidate sorting.
+// bitset-vs-scan analytics, cached-vs-first window re-mining,
+// keyed-vs-rebuild candidate sorting, and append cost without vs with
+// the write-ahead log (where the "speedup" reads as the durability
+// overhead factor).
 var variantPairs = []struct{ fast, slow string }{
 	{"blocked", "ref"},
 	{"bitset", "scan"},
 	{"cached", "first"},
 	{"keyed", "rebuild"},
+	{"nowal", "wal"},
 }
 
 // speedups pairs Foo/<fast>/N with Foo/<slow>/N benchmarks (the size

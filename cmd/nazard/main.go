@@ -6,22 +6,30 @@
 // Usage:
 //
 //	nazard [-addr :8750] [-classes 24] [-train-per-class 50] [-epochs 25]
-//	       [-seed 42] [-analyze-every 0]
+//	       [-seed 42] [-analyze-every 0] [-wal-dir path]
 //
 // With -analyze-every > 0 the analysis loop runs periodically; otherwise
-// clients trigger it via POST /v1/analyze.
+// clients trigger it via POST /v1/analyze. With -wal-dir the drift log
+// is durable: every ingest batch is fsynced to a write-ahead log before
+// it is acknowledged, and a restarted nazard replays the directory to
+// resume exactly where the dead process stopped.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"nazar/internal/cloud"
+	"nazar/internal/driftlog"
 	"nazar/internal/httpapi"
 	"nazar/internal/imagesim"
 	"nazar/internal/nn"
@@ -31,14 +39,17 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8750", "listen address")
-		classes  = flag.Int("classes", 24, "world classes")
-		perClass = flag.Int("train-per-class", 50, "training examples per class")
-		epochs   = flag.Int("epochs", 25, "base-model training epochs")
-		seed     = flag.Uint64("seed", 42, "world/model seed (devices must match)")
-		every    = flag.Duration("analyze-every", 0, "periodic analysis interval (0 = on demand)")
-		logFile  = flag.String("log-file", "", "drift-log persistence path (loaded on start, saved after each analysis)")
-		retain   = flag.Duration("retention", 0, "compact drift-log rows older than this before each analysis (0 = keep all)")
+		addr       = flag.String("addr", ":8750", "listen address")
+		classes    = flag.Int("classes", 24, "world classes")
+		perClass   = flag.Int("train-per-class", 50, "training examples per class")
+		epochs     = flag.Int("epochs", 25, "base-model training epochs")
+		seed       = flag.Uint64("seed", 42, "world/model seed (devices must match)")
+		every      = flag.Duration("analyze-every", 0, "periodic analysis interval (0 = on demand)")
+		logFile    = flag.String("log-file", "", "drift-log persistence path (loaded on start, saved after each analysis; superseded by -wal-dir)")
+		retain     = flag.Duration("retention", 0, "compact drift-log rows older than this before each analysis (0 = keep all)")
+		walDir     = flag.String("wal-dir", "", "write-ahead-log directory for a durable drift log (replayed on start)")
+		walSegMB   = flag.Int("wal-segment-mb", 4, "WAL segment rotation threshold in MiB")
+		walCompact = flag.Int("wal-compact-segments", 4, "sealed segments that trigger background WAL compaction (0 = never)")
 	)
 	flag.Parse()
 
@@ -67,7 +78,28 @@ func main() {
 	// profiles are live under /debug/pprof/ on the same listener.
 	reg := obs.NewRegistry()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	svc := cloud.NewService(base, ccfg, cloud.WithObserver(reg))
+	opts := []cloud.Option{cloud.WithObserver(reg)}
+	if *walDir != "" {
+		opts = append(opts, cloud.WithWAL(*walDir, driftlog.WALOptions{
+			SegmentBytes:    int64(*walSegMB) << 20,
+			CompactSegments: *walCompact,
+		}))
+	}
+	svc := cloud.NewService(base, ccfg, opts...)
+	if err := svc.WALErr(); err != nil {
+		// A service that cannot persist must not serve: every ingest
+		// would be refused anyway, so fail loudly at startup.
+		log.Fatalf("nazard: %v", err)
+	}
+	if *walDir != "" {
+		rec := svc.WAL().Recovery()
+		log.Printf("nazard: wal replay: %d snapshot rows + %d rows from %d segments (torn tail: %v)",
+			rec.SnapshotRows, rec.Rows, rec.Segments, rec.TornTail)
+		if *logFile != "" {
+			log.Printf("nazard: -log-file ignored: -wal-dir provides durability (snapshot would double-apply on replay)")
+			*logFile = ""
+		}
+	}
 	if *logFile != "" {
 		if err := svc.LoadLog(*logFile); err != nil {
 			log.Printf("nazard: no drift log restored from %s: %v", *logFile, err)
@@ -75,8 +107,9 @@ func main() {
 			log.Printf("nazard: restored %d drift-log rows from %s", svc.Log().Len(), *logFile)
 		}
 	}
+	var sched *cloud.Scheduler
 	if *every > 0 {
-		sched := cloud.NewScheduler(svc, *every)
+		sched = cloud.NewScheduler(svc, *every)
 		sched.OnResult = func(res cloud.WindowResult) {
 			log.Printf("nazard: analysis over %d rows: %d causes, %d versions (rca %v, adapt %v)",
 				res.LogRows, len(res.Causes), len(res.Versions), res.RCADuration, res.AdaptDuration)
@@ -87,7 +120,6 @@ func main() {
 			}
 		}
 		sched.Start()
-		defer sched.Stop()
 	}
 
 	srv := &http.Server{
@@ -95,6 +127,32 @@ func main() {
 		Handler:           httpapi.NewServer(svc, httpapi.WithRegistry(reg), httpapi.WithLogger(logger)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// Graceful shutdown: stop accepting, drain in-flight requests, stop
+	// the analysis loop, then close the WAL so the final segment is
+	// fsynced and the next start replays a clean (untorn) log.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		log.Printf("nazard: %v: shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("nazard: shutdown: %v", err)
+		}
+		if sched != nil {
+			sched.Stop()
+		}
+		if err := svc.Close(); err != nil {
+			log.Printf("nazard: wal close: %v", err)
+		}
+	}()
+
 	fmt.Printf("nazard listening on %s (metrics at /metrics, profiles at /debug/pprof/)\n", *addr)
-	log.Fatal(srv.ListenAndServe())
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
 }

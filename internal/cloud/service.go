@@ -9,6 +9,7 @@ package cloud
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/pprof"
 	"sort"
@@ -264,7 +265,21 @@ type Service struct {
 	// analyze).
 	acMu   sync.Mutex
 	acache analysisCache
+
+	// walDir/walOpts are set by WithWAL; wal (or walErr) is resolved
+	// once in NewService and read-only afterwards.
+	walDir  string
+	walOpts driftlog.WALOptions
+	wal     *driftlog.WAL
+	walErr  error
 }
+
+// ErrDurability marks ingest failures on the durability path: the WAL
+// could not persist the batch (or never opened), so the write was NOT
+// applied and the entries are NOT acknowledged. Transports must treat
+// it as transient — retrying against a restarted service redelivers the
+// batch — which is why the HTTP layer maps it to a 5xx, never a 4xx.
+var ErrDurability = errors.New("cloud: durability failure")
 
 // analysisCache carries the previous analysis run's identity and mining
 // state. The identity is (window bounds, per-shard pinned row counts,
@@ -321,6 +336,20 @@ func WithObserver(reg *obs.Registry) Option {
 	}
 }
 
+// WithWAL makes the drift log durable: every ingest batch is appended
+// and fsynced to a write-ahead log in dir before it is applied in
+// memory, and NewService replays any existing log in dir so a restarted
+// service resumes with the rows it had acknowledged before dying.
+// Open/replay failures are deferred to WALErr() — NewService cannot
+// return an error — and ingest refuses with ErrDurability until
+// resolved.
+func WithWAL(dir string, opts driftlog.WALOptions) Option {
+	return func(s *Service) {
+		s.walDir = dir
+		s.walOpts = opts
+	}
+}
+
 // NewService creates the service around the initial trained model.
 func NewService(base *nn.Network, cfg Config, opts ...Option) *Service {
 	if cfg.Thresholds.MaxItems == 0 {
@@ -340,10 +369,53 @@ func NewService(base *nn.Network, cfg Config, opts ...Option) *Service {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.walDir != "" {
+		wal, err := driftlog.OpenWAL(s.walDir, s.log, s.walOpts)
+		if err != nil {
+			s.walErr = fmt.Errorf("cloud: wal open: %w", err)
+		} else {
+			s.wal = wal
+		}
+	}
 	if s.metrics != nil {
 		s.metrics.observeStores(s)
 	}
 	return s
+}
+
+// WAL returns the service's write-ahead log (nil unless WithWAL was
+// used and the open succeeded).
+func (s *Service) WAL() *driftlog.WAL { return s.wal }
+
+// WALErr reports a WithWAL open/replay failure. A non-nil result means
+// the service is NOT durable and refuses ingest; callers should treat
+// it as fatal at startup.
+func (s *Service) WALErr() error { return s.walErr }
+
+// Close releases the service's durable resources: it flushes and closes
+// the WAL (waiting out any background compaction). Idempotent; a
+// service without a WAL closes trivially.
+func (s *Service) Close() error {
+	if s.wal != nil {
+		return s.wal.Close()
+	}
+	return nil
+}
+
+// walAppend persists a batch to the WAL before it becomes visible in
+// memory. With no WAL configured it is free; with one, a nil return
+// means the batch is fsynced to disk.
+func (s *Service) walAppend(entries []driftlog.Entry) error {
+	if s.walErr != nil {
+		return fmt.Errorf("%w: %w", ErrDurability, s.walErr)
+	}
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Append(entries); err != nil {
+		return fmt.Errorf("%w: %w", ErrDurability, err)
+	}
+	return nil
 }
 
 // Observer returns the service's metrics hook (nil unless WithObserver
@@ -411,6 +483,12 @@ func (s *Service) IngestContext(ctx context.Context, e driftlog.Entry, sample []
 	} else if e.SampleID != -1 {
 		e.SampleID = -1
 	}
+	// WAL first: the entry must be durable before it is queryable, or a
+	// crash between the two would acknowledge a row that replay cannot
+	// restore.
+	if err := s.walAppend([]driftlog.Entry{e}); err != nil {
+		return err
+	}
 	s.log.Append(e)
 	if m := s.metrics; m != nil {
 		m.ingestEntries.Inc()
@@ -452,6 +530,10 @@ func (s *Service) IngestBatchContext(ctx context.Context, entries []driftlog.Ent
 		} else if entries[i].SampleID != -1 {
 			entries[i].SampleID = -1
 		}
+	}
+	// WAL first (see IngestContext): durable before visible.
+	if err := s.walAppend(entries); err != nil {
+		return err
 	}
 	s.log.AppendBatch(entries)
 	if m := s.metrics; m != nil {

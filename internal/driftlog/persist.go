@@ -100,7 +100,7 @@ func (s *Store) ReadFrom(r io.Reader) (int64, error) {
 		var we wireEntry
 		if err := dec.Decode(&we); err != nil {
 			s.AppendBatch(batch)
-			return int64(loaded + len(batch)), fmt.Errorf("driftlog: decode row %d: %w", i, err)
+			return int64(loaded + len(batch)), fmt.Errorf("driftlog: decode row %d of %d (truncated or corrupt snapshot): %w", i, n, err)
 		}
 		batch = append(batch, Entry{
 			Time:     time.Unix(0, we.TimeNanos).UTC(),
@@ -190,7 +190,10 @@ func (s *Store) Compactions() int64 {
 	return s.compactions.Load()
 }
 
-// SaveFile atomically writes the log to path (temp file + rename).
+// SaveFile atomically and durably writes the log to path: temp file,
+// fsync, rename, directory fsync. Without the fsync before the rename a
+// power cut can leave path pointing at a zero-length or partial file —
+// the classic rename-without-sync hole.
 func (s *Store) SaveFile(path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -202,11 +205,20 @@ func (s *Store) SaveFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("driftlog: save sync: %w", err)
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("driftlog: save close: %w", err)
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("driftlog: save rename: %w", err)
+	}
+	return syncDir(dirOf(path))
 }
 
 // LoadFile appends all rows stored at path.

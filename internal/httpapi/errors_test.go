@@ -8,8 +8,10 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"nazar/internal/cloud"
+	"nazar/internal/driftlog"
 	"nazar/internal/nn"
 	"nazar/internal/tensor"
 )
@@ -179,5 +181,74 @@ func TestDecodeJSONStrictness(t *testing.T) {
 				t.Fatal("expected error")
 			}
 		})
+	}
+}
+
+// TestParseRetryAfter pins both header forms the RFC allows —
+// delta-seconds and HTTP-date — plus every degenerate input, all of
+// which must degrade to 0 ("no hint") rather than a bogus delay.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+	}{
+		{"empty", "", 0},
+		{"integer seconds", "7", 7 * time.Second},
+		{"zero seconds", "0", 0},
+		{"negative seconds", "-3", 0},
+		{"large seconds", "86400", 24 * time.Hour},
+		{"http date future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http date past", now.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{"http date now", now.Format(http.TimeFormat), 0},
+		{"rfc850 date", now.Add(30 * time.Second).Format("Monday, 02-Jan-06 15:04:05 MST"), 30 * time.Second},
+		{"ansi c date", now.Add(45 * time.Second).Format(time.ANSIC), 45 * time.Second},
+		{"garbage", "soon", 0},
+		{"float seconds", "1.5", 0},
+		{"seconds with spaces", " 5 ", 0},
+		{"overflow-ish", "999999999999999999999999", 0},
+		{"mixed", "5s", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := parseRetryAfter(tc.v, now); got != tc.want {
+				t.Fatalf("parseRetryAfter(%q) = %v, want %v", tc.v, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestIngestBatchDurabilityFailureIs500: a WAL failure during batch
+// ingest must surface as 500/internal — a transient server-side fault
+// the transport will retry — never as a 400, which resilient clients
+// treat as a poison batch and drop.
+func TestIngestBatchDurabilityFailureIs500(t *testing.T) {
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 2, tensor.NewRand(7, 1))
+	svc := cloud.NewService(base, cloud.DefaultConfig(),
+		cloud.WithWAL(t.TempDir(), driftlog.WALOptions{}))
+	if err := svc.WALErr(); err != nil {
+		t.Fatalf("wal open: %v", err)
+	}
+	h := NewServer(svc, WithLogger(discardLogger()))
+	svc.WAL().Sever() // the cloud "dies": durability is gone
+
+	body := `{"entries":[{"time":"2026-01-01T00:00:00Z","attrs":{"weather":"snow"}}]}`
+	req := httptest.NewRequest("POST", "/v1/ingest/batch", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500 (body %q)", rec.Code, rec.Body.String())
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env.Error == nil {
+		t.Fatalf("body %q is not an error envelope", rec.Body.String())
+	}
+	if env.Error.Code != CodeInternal {
+		t.Fatalf("code %q, want %q", env.Error.Code, CodeInternal)
+	}
+	if svc.Log().Len() != 0 {
+		t.Fatalf("refused batch landed in the log: %d rows", svc.Log().Len())
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -277,6 +278,14 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	if err := s.svc.IngestBatchContext(r.Context(), req.Entries, req.Samples); err != nil {
 		if r.Context().Err() != nil {
 			writeError(w, statusClientClosedRequest, CodeCanceled, err.Error())
+			return
+		}
+		// A durability failure is the server's problem, not the batch's:
+		// it must surface as a 5xx so the transport retries the batch
+		// (against a restarted, replayed service) instead of dropping it
+		// as poison the way it treats 4xx.
+		if errors.Is(err, cloud.ErrDurability) {
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 			return
 		}
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"nazar/internal/cloud"
@@ -41,6 +43,16 @@ type ChaosConfig struct {
 	// Seed drives every PRNG in the run: the world, the fleet, the
 	// fault injector and the transport's backoff jitter.
 	Seed uint64
+	// WALDir, when set, runs the cloud service with a durable drift log
+	// (cloud.WithWAL) rooted there. Required for KillCloudAtWindow.
+	WALDir string
+	// KillCloudAtWindow, when positive, kill-9s the cloud service
+	// mid-way through that window (1-based): the WAL is severed with no
+	// flush or goodbye, the service is discarded, and a fresh service
+	// replays the WAL directory and takes over the same endpoint. The
+	// delivery invariant must survive: lost_acked stays 0 because every
+	// acked batch was fsynced before its ack.
+	KillCloudAtWindow int
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -90,6 +102,11 @@ type ChaosResult struct {
 	// run must analyze and install versions like a clean pipeline run).
 	AnalyzeOK int `json:"analyze_ok"`
 	Versions  int `json:"versions"`
+	// CloudKills counts KillCloudAtWindow restarts performed;
+	// ReplayedRows is the row count the replacement service recovered
+	// from the WAL at takeover.
+	CloudKills   int `json:"cloud_kills"`
+	ReplayedRows int `json:"replayed_rows"`
 }
 
 // chaosAttrSeq is the per-entry identity attribute the harness stamps
@@ -112,19 +129,46 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	}
 	sched.LatencyDur = time.Millisecond
 
+	if cfg.KillCloudAtWindow > 0 && cfg.WALDir == "" {
+		return nil, fmt.Errorf("chaos: KillCloudAtWindow requires WALDir")
+	}
+
 	world := imagesim.NewWorld(imagesim.DefaultConfig(4, cfg.Seed))
 	base := nn.NewClassifier(nn.ArchResNet18, world.Dim(), 4, tensor.NewRand(cfg.Seed, 1))
 	svcCfg := cloud.DefaultConfig()
 	svcCfg.MinSamplesPerCause = 8
 	svcCfg.AdaptCfg.Epochs = 1
-	svc := cloud.NewService(base, svcCfg)
+	newSvc := func() (*cloud.Service, error) {
+		var opts []cloud.Option
+		if cfg.WALDir != "" {
+			opts = append(opts, cloud.WithWAL(cfg.WALDir, driftlog.WALOptions{}))
+		}
+		s := cloud.NewService(base, svcCfg, opts...)
+		if err := s.WALErr(); err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		return s, nil
+	}
+	svc, err := newSvc()
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = svc.Close() }()
 
 	injector := faultinject.New(faultinject.Config{Seed: cfg.Seed, Schedule: sched})
 	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	// The endpoint serves whatever handler is currently stored, so a
+	// killed cloud can be replaced mid-run without the fleet's transport
+	// noticing anything beyond failed requests.
+	var handler atomic.Value
+	handler.Store(http.Handler(httpapi.NewServer(svc, httpapi.WithLogger(quiet))))
+	swapable := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	})
 	// The injector mounts OUTSIDE the API server's middleware chain so
 	// injected aborts bypass its panic recovery and reach the client as
 	// genuine connection failures.
-	ts := httptest.NewServer(injector.Middleware()(httpapi.NewServer(svc, httpapi.WithLogger(quiet))))
+	ts := httptest.NewServer(injector.Middleware()(swapable))
 	defer ts.Close()
 
 	ackedSeqs := map[string]int{}
@@ -194,6 +238,20 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 					return nil, fmt.Errorf("chaos: report: %w", err)
 				}
 			}
+		}
+		if cfg.KillCloudAtWindow == w+1 {
+			// kill -9 the cloud mid-window: sever the WAL first (in-flight
+			// requests on the dying service fail un-acked rather than
+			// acking into a store about to vanish), discard the service,
+			// and bring up a replacement that replays the WAL directory.
+			svc.WAL().Sever()
+			svc, err = newSvc()
+			if err != nil {
+				return nil, fmt.Errorf("chaos: window %d restart: %w", w, err)
+			}
+			res.CloudKills++
+			res.ReplayedRows = svc.Log().Len()
+			handler.Store(http.Handler(httpapi.NewServer(svc, httpapi.WithLogger(quiet))))
 		}
 		if err := client.Flush(ctx); err != nil {
 			return nil, fmt.Errorf("chaos: window %d flush: %w", w, err)
