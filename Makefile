@@ -10,9 +10,9 @@ GO ?= go
 # their shared support caches, and the WAL — concurrent appends,
 # background compaction, and the crash matrix all live under
 # internal/driftlog, with the service-level wiring under internal/cloud).
-RACE_PKGS = ./internal/cloud/... ./internal/driftlog/... ./internal/fim/... ./internal/rca/... ./internal/httpapi/... ./internal/tensor/... ./internal/transport/... ./internal/faultinject/...
+RACE_PKGS = ./internal/cloud/... ./internal/driftlog/... ./internal/fim/... ./internal/rca/... ./internal/httpapi/... ./internal/tensor/... ./internal/transport/... ./internal/faultinject/... ./internal/wire/...
 
-.PHONY: ci vet staticcheck build test race race-chaos chaos fuzz fuzz-smoke bench bench-kernels bench-analysis bench-wal bench-smoke clean
+.PHONY: ci vet staticcheck build test race race-chaos chaos fuzz fuzz-smoke bench bench-kernels bench-analysis bench-wal bench-wire bench-smoke clean
 
 ci: vet staticcheck build test race race-chaos
 
@@ -68,6 +68,7 @@ fuzz-smoke:
 	$(GO) test ./internal/driftlog/ -run '^$$' -fuzz FuzzCountDifferential -fuzztime 30s
 	$(GO) test ./internal/driftlog/ -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s
 	$(GO) test ./internal/faultinject/ -run '^$$' -fuzz FuzzParseSchedule -fuzztime 30s
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzWireDecode -fuzztime 30s
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkRunWindow$$' -benchtime 2s .
@@ -106,6 +107,16 @@ bench-wal:
 	$(GO) run ./cmd/benchjson < bench-wal.out > BENCH_wal.json
 	@rm -f bench-wal.out
 	@echo "wrote BENCH_wal.json"
+
+# Wire-codec benchmarks: binary vs JSON encode/decode of ingest batches
+# at 16 and 256 rows, plus handler-level ingest round trips. The parsed
+# results (including binary-vs-json speedups) land in BENCH_wire.json.
+bench-wire:
+	$(GO) test -run '^$$' -bench 'BenchmarkWire' -benchmem -benchtime 0.5s -count 5 \
+		./internal/wire/ | tee bench-wire.out
+	$(GO) run ./cmd/benchjson < bench-wire.out > BENCH_wire.json
+	@rm -f bench-wire.out
+	@echo "wrote BENCH_wire.json"
 
 # One-iteration pass over every benchmark in the repo — the CI smoke
 # check that none of them rotted.

@@ -134,15 +134,16 @@ func parseBenchLine(line string) (Benchmark, bool) {
 // variantPairs lists the fast/slow sub-benchmark variant names that
 // fold into a headline speedup: blocked-vs-reference kernels,
 // bitset-vs-scan analytics, cached-vs-first window re-mining,
-// keyed-vs-rebuild candidate sorting, and append cost without vs with
+// keyed-vs-rebuild candidate sorting, append cost without vs with
 // the write-ahead log (where the "speedup" reads as the durability
-// overhead factor).
+// overhead factor), and binary-vs-json ingest wire codecs.
 var variantPairs = []struct{ fast, slow string }{
 	{"blocked", "ref"},
 	{"bitset", "scan"},
 	{"cached", "first"},
 	{"keyed", "rebuild"},
 	{"nowal", "wal"},
+	{"binary", "json"},
 }
 
 // speedups pairs Foo/<fast>/N with Foo/<slow>/N benchmarks (the size

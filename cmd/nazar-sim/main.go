@@ -49,11 +49,12 @@ func main() {
 		chaosSchedule = flag.String("chaos-schedule", "", "explicit fault schedule for -chaos (overrides -chaos-rates presets)")
 		chaosDevices  = flag.Int("chaos-devices", 3, "chaos fleet size")
 		chaosPerDev   = flag.Int("chaos-per-device", 40, "chaos inferences per device")
+		chaosCodec    = flag.String("chaos-codec", "json", "chaos ingest codec: json or binary")
 	)
 	flag.Parse()
 
 	if *chaos {
-		if err := runChaos(*chaosRates, *chaosSchedule, *chaosDevices, *chaosPerDev, *seed); err != nil {
+		if err := runChaos(*chaosRates, *chaosSchedule, *chaosDevices, *chaosPerDev, *seed, *chaosCodec); err != nil {
 			log.Fatalf("nazar-sim: %v", err)
 		}
 		return
@@ -108,7 +109,7 @@ func main() {
 // runChaos executes the chaos harness at each requested fault rate and
 // writes one JSON result per line (the `make chaos` output). It exits
 // non-zero when any run loses an acknowledged entry.
-func runChaos(rates, schedule string, devices, perDevice int, seed uint64) error {
+func runChaos(rates, schedule string, devices, perDevice int, seed uint64, codec string) error {
 	var sched *faultinject.Schedule
 	if schedule != "" {
 		s, err := faultinject.ParseSchedule(schedule)
@@ -116,6 +117,14 @@ func runChaos(rates, schedule string, devices, perDevice int, seed uint64) error
 			return err
 		}
 		sched = &s
+	}
+	var binary bool
+	switch codec {
+	case "json":
+	case "binary":
+		binary = true
+	default:
+		return fmt.Errorf("bad -chaos-codec %q: want json or binary", codec)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	lost := 0
@@ -130,6 +139,7 @@ func runChaos(rates, schedule string, devices, perDevice int, seed uint64) error
 			Devices:   devices,
 			PerDevice: perDevice,
 			Seed:      seed,
+			Binary:    binary,
 		})
 		if err != nil {
 			return fmt.Errorf("chaos run at rate %v: %v", rate, err)

@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -150,7 +151,8 @@ func main() {
 		}
 	}()
 
-	fmt.Printf("nazard listening on %s (metrics at /metrics, profiles at /debug/pprof/)\n", *addr)
+	fmt.Printf("nazard listening on %s (ingest codecs: %s; metrics at /metrics, profiles at /debug/pprof/)\n",
+		*addr, strings.Join(httpapi.ContentTypes(), ", "))
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

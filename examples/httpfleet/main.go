@@ -68,15 +68,19 @@ func main() {
 	// --- Device side (nazar-device) ---
 	// The resilient transport spools entries, batches them over the
 	// wire, and retries transient failures; terminal failures surface
-	// through OnDrop so lost telemetry is at least visible.
+	// through OnDrop so lost telemetry is at least visible. Batches ship
+	// in the columnar binary framing (the transport falls back to JSON
+	// on its own if the server were older and refused it).
 	ctx := context.Background()
-	client := transport.New(url, transport.Config{
-		MaxBatch:      64,
-		FlushInterval: 200 * time.Millisecond,
-		OnDrop: func(e driftlog.Entry, reason string) {
-			log.Printf("devices: entry %v dropped (%s)", e.Time, reason)
-		},
-	})
+	client := transport.NewClient(url,
+		transport.WithConfig(transport.Config{
+			OnDrop: func(e driftlog.Entry, reason string) {
+				log.Printf("devices: entry %v dropped (%s)", e.Time, reason)
+			},
+		}),
+		transport.WithBatcher(64, 200*time.Millisecond),
+		transport.WithCodec(httpapi.BinaryCodec{}),
+	)
 	defer func() {
 		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

@@ -545,6 +545,71 @@ func (s *Service) IngestBatchContext(ctx context.Context, entries []driftlog.Ent
 	return nil
 }
 
+// IngestColumns records a columnar batch (the binary wire protocol's
+// decoded form) without a per-row struct round-trip.
+func (s *Service) IngestColumns(b *driftlog.ColumnarBatch, samples [][]float64) error {
+	return s.IngestColumnsContext(context.Background(), b, samples)
+}
+
+// IngestColumnsContext is the context-aware columnar ingest: the fast
+// path behind application/x-nazar-batch. Semantics match
+// IngestBatchContext exactly — the context gates entry only, sample IDs
+// are rewritten in place (rows without a sample normalize to -1), and
+// the batch is WAL-appended before it becomes visible in the store.
+func (s *Service) IngestColumnsContext(ctx context.Context, b *driftlog.ColumnarBatch, samples [][]float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := b.Validate(); err != nil {
+		return fmt.Errorf("cloud: ingest columns: %w", err)
+	}
+	rows := b.Rows()
+	if samples != nil && len(samples) != rows {
+		return fmt.Errorf("cloud: ingest columns: %d rows but %d samples", rows, len(samples))
+	}
+	var sampleCount, sampleBytes int
+	for i := 0; i < rows; i++ {
+		if samples != nil && samples[i] != nil {
+			id := s.samples.Add(samples[i])
+			b.SampleIDs[i] = id
+			s.recordMeta(sampleMeta{id: id, attrs: b.RowAttrs(i), t: time.Unix(0, b.Times[i]).UTC()})
+			sampleCount++
+			sampleBytes += 8 * len(samples[i])
+		} else if b.SampleIDs[i] != -1 {
+			b.SampleIDs[i] = -1
+		}
+	}
+	// WAL first (see IngestContext): durable before visible.
+	if err := s.walAppendColumns(b); err != nil {
+		return err
+	}
+	if err := s.log.AppendColumns(b); err != nil {
+		return fmt.Errorf("cloud: ingest columns: %w", err)
+	}
+	if m := s.metrics; m != nil {
+		m.ingestEntries.Add(uint64(rows))
+		m.ingestBatches.Inc()
+		m.ingestSamples.Add(uint64(sampleCount))
+		m.ingestBytes.Add(uint64(sampleBytes))
+	}
+	return nil
+}
+
+// walAppendColumns is walAppend for a columnar batch (same record
+// format on disk; replay cannot tell the ingest paths apart).
+func (s *Service) walAppendColumns(b *driftlog.ColumnarBatch) error {
+	if s.walErr != nil {
+		return fmt.Errorf("%w: %w", ErrDurability, s.walErr)
+	}
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.AppendColumns(b); err != nil {
+		return fmt.Errorf("%w: %w", ErrDurability, err)
+	}
+	return nil
+}
+
 // WindowResult is the outcome of one analysis/adaptation cycle.
 type WindowResult struct {
 	Causes   []rca.Cause

@@ -469,6 +469,23 @@ func (w *WAL) Append(entries []Entry) error {
 	if len(entries) == 0 {
 		return nil
 	}
+	return w.appendFrame(func(dst []byte) []byte { return appendWALFrame(dst, entries) })
+}
+
+// AppendColumns is Append for a columnar batch: it encodes the exact
+// same record format (attributes in sorted name order) directly from
+// the columns, so replay and compaction are oblivious to which ingest
+// path produced a record. The batch must already be validated.
+func (w *WAL) AppendColumns(b *ColumnarBatch) error {
+	if b.Rows() == 0 {
+		return nil
+	}
+	return w.appendFrame(func(dst []byte) []byte { return appendWALFrameColumns(dst, b) })
+}
+
+// appendFrame writes one encoded record frame and fsyncs it (the shared
+// tail of Append and AppendColumns).
+func (w *WAL) appendFrame(frame func(dst []byte) []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed || w.err != nil {
@@ -477,7 +494,7 @@ func (w *WAL) Append(entries []Entry) error {
 		}
 		return ErrWALClosed
 	}
-	w.buf = appendWALFrame(w.buf[:0], entries)
+	w.buf = frame(w.buf[:0])
 	if _, err := w.cur.Write(w.buf); err != nil {
 		return w.failLocked(fmt.Errorf("driftlog: wal append: %w", err))
 	}
@@ -741,6 +758,56 @@ func appendWALFrame(dst []byte, entries []Entry) []byte {
 			dst = binary.AppendUvarint(dst, uint64(len(k)))
 			dst = append(dst, k...)
 			v := e.Attrs[k]
+			dst = binary.AppendUvarint(dst, uint64(len(v)))
+			dst = append(dst, v...)
+		}
+	}
+	payload := dst[p:]
+	binary.LittleEndian.PutUint32(dst[base:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[base+4:], crc32.Checksum(payload, walCRC))
+	return dst
+}
+
+// appendWALFrameColumns is appendWALFrame fed from a columnar batch:
+// byte-identical output for an equivalent entry slice (appendWALFrame
+// emits attributes in sorted key order; here the column order is sorted
+// once per batch instead of once per row).
+func appendWALFrameColumns(dst []byte, b *ColumnarBatch) []byte {
+	base := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	p := len(dst)
+	dst = append(dst, walRecordVersion)
+	rows := b.Rows()
+	dst = binary.AppendUvarint(dst, uint64(rows))
+	order := make([]int, len(b.Cols))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return b.Cols[order[i]].Name < b.Cols[order[j]].Name })
+	for r := 0; r < rows; r++ {
+		dst = binary.AppendVarint(dst, b.Times[r])
+		var flags byte
+		if b.Drift[r] {
+			flags = 1
+		}
+		dst = append(dst, flags)
+		dst = binary.AppendVarint(dst, b.SampleIDs[r])
+		nattrs := 0
+		for _, ci := range order {
+			if b.Cols[ci].IDs[r] != 0 {
+				nattrs++
+			}
+		}
+		dst = binary.AppendUvarint(dst, uint64(nattrs))
+		for _, ci := range order {
+			col := &b.Cols[ci]
+			id := col.IDs[r]
+			if id == 0 {
+				continue
+			}
+			dst = binary.AppendUvarint(dst, uint64(len(col.Name)))
+			dst = append(dst, col.Name...)
+			v := col.Dict[id]
 			dst = binary.AppendUvarint(dst, uint64(len(v)))
 			dst = append(dst, v...)
 		}

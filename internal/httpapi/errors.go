@@ -28,6 +28,13 @@ const (
 	// CodeInternal marks a server-side failure, including recovered
 	// handler panics.
 	CodeInternal = "internal"
+	// CodeCodecUnsupported marks a failed content negotiation: an
+	// unknown Content-Type or Content-Encoding (415) or an Accept
+	// header that excludes the JSON acknowledgement (406).
+	CodeCodecUnsupported = "codec_unsupported"
+	// CodeInvalidFrame marks a body in a negotiated non-JSON codec that
+	// failed decoding (torn frame, CRC mismatch, bad dictionary index).
+	CodeInvalidFrame = "invalid_frame"
 )
 
 // APIError is the typed form of a server error envelope. The client

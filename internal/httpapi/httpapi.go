@@ -27,6 +27,7 @@ package httpapi
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
@@ -35,6 +36,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 
 	"nazar/internal/adapt"
@@ -231,17 +233,43 @@ func writeServiceError(w http.ResponseWriter, r *http.Request, err error) {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	codec, ok := negotiateCodec(w, r)
+	if !ok {
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	var req IngestRequest
-	if err := decodeJSON(r.Body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
+	body, ok := requestBody(w, r, maxBodyBytes)
+	if !ok {
 		return
 	}
-	if req.Entry.Attrs == nil {
-		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "httpapi: entry requires attrs")
+	if codec.ContentType() == ContentTypeJSON {
+		var req IngestRequest
+		if err := decodeJSON(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
+			return
+		}
+		if req.Entry.Attrs == nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, "httpapi: entry requires attrs")
+			return
+		}
+		if err := s.svc.IngestContext(r.Context(), req.Entry, req.Sample); err != nil {
+			writeServiceError(w, r, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	if err := s.svc.IngestContext(r.Context(), req.Entry, req.Sample); err != nil {
+	// Binary single ingest: a one-row batch frame.
+	frame, err := codec.DecodeBatch(body, 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, decodeBodyCode(codec), err.Error())
+		return
+	}
+	if frame.Rows() != 1 {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "httpapi: ingest requires exactly one entry")
+		return
+	}
+	if err := s.svc.IngestColumnsContext(r.Context(), frame.Columns, frame.Samples); err != nil {
 		writeServiceError(w, r, err)
 		return
 	}
@@ -249,33 +277,47 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
-	var req IngestBatchRequest
-	if err := decodeJSON(r.Body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalidJSON, err.Error())
+	codec, ok := negotiateCodec(w, r)
+	if !ok {
 		return
 	}
-	if len(req.Entries) == 0 {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
+	body, ok := requestBody(w, r, maxBatchBodyBytes)
+	if !ok {
+		return
+	}
+	frame, err := codec.DecodeBatch(body, maxBatchEntries)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, decodeBodyCode(codec), err.Error())
+		return
+	}
+	rows := frame.Rows()
+	if rows == 0 {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "httpapi: batch requires at least one entry")
 		return
 	}
-	if len(req.Entries) > maxBatchEntries {
+	if rows > maxBatchEntries {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest,
 			fmt.Sprintf("httpapi: batch exceeds %d entries", maxBatchEntries))
 		return
 	}
-	if req.Samples != nil && len(req.Samples) != len(req.Entries) {
+	if frame.Samples != nil && len(frame.Samples) != rows {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "httpapi: samples length must match entries")
 		return
 	}
-	for i := range req.Entries {
-		if req.Entries[i].Attrs == nil {
+	for i := range frame.Entries {
+		if frame.Entries[i].Attrs == nil {
 			writeError(w, http.StatusBadRequest, CodeInvalidRequest,
 				fmt.Sprintf("httpapi: entry %d requires attrs", i))
 			return
 		}
 	}
-	if err := s.svc.IngestBatchContext(r.Context(), req.Entries, req.Samples); err != nil {
+	if frame.Columns != nil {
+		err = s.svc.IngestColumnsContext(r.Context(), frame.Columns, frame.Samples)
+	} else {
+		err = s.svc.IngestBatchContext(r.Context(), frame.Entries, frame.Samples)
+	}
+	if err != nil {
 		if r.Context().Err() != nil {
 			writeError(w, statusClientClosedRequest, CodeCanceled, err.Error())
 			return
@@ -291,7 +333,7 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
 		return
 	}
-	writeJSON(w, IngestBatchResponse{Accepted: len(req.Entries)})
+	writeJSON(w, IngestBatchResponse{Accepted: rows})
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -469,11 +511,26 @@ func writeJSON(w http.ResponseWriter, v any) {
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// Codec selects the ingest wire encoding (nil means JSON). Only
+	// /v1/ingest and /v1/ingest/batch negotiate; control-plane calls
+	// stay JSON.
+	Codec Codec
+	// Compress gzips ingest request bodies when true.
+	Compress bool
 }
 
 // NewClient returns a client for the given server URL.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// ingestCodec returns the effective ingest codec (nil Codec means
+// JSON).
+func (c *Client) ingestCodec() Codec {
+	if c.Codec != nil {
+		return c.Codec
+	}
+	return JSONCodec{}
 }
 
 // Ingest reports one entry (+ optional sample).
@@ -483,7 +540,24 @@ func (c *Client) Ingest(entry driftlog.Entry, sample []float64) error {
 
 // IngestContext is Ingest with request cancellation.
 func (c *Client) IngestContext(ctx context.Context, entry driftlog.Entry, sample []float64) error {
-	return c.post(ctx, "/v1/ingest", IngestRequest{Entry: entry, Sample: sample}, nil)
+	codec := c.ingestCodec()
+	if codec.ContentType() == ContentTypeJSON {
+		data, err := json.Marshal(IngestRequest{Entry: entry, Sample: sample})
+		if err != nil {
+			return fmt.Errorf("httpapi: marshal: %w", err)
+		}
+		return c.postRaw(ctx, "/v1/ingest", ContentTypeJSON, data, nil)
+	}
+	// Non-JSON codecs carry the single ingest as a one-row batch frame.
+	var samples [][]float64
+	if sample != nil {
+		samples = [][]float64{sample}
+	}
+	data, err := codec.EncodeBatch(&BatchFrame{Entries: []driftlog.Entry{entry}, Samples: samples})
+	if err != nil {
+		return err
+	}
+	return c.postRaw(ctx, "/v1/ingest", codec.ContentType(), data, nil)
 }
 
 // IngestBatch reports many entries in one round-trip. samples may be nil,
@@ -492,10 +566,17 @@ func (c *Client) IngestBatch(entries []driftlog.Entry, samples [][]float64) (int
 	return c.IngestBatchContext(context.Background(), entries, samples)
 }
 
-// IngestBatchContext is IngestBatch with request cancellation.
+// IngestBatchContext is IngestBatch with request cancellation. The body
+// is rendered by the configured Codec (JSON by default) and gzipped
+// when Compress is set; the acknowledgement is always JSON.
 func (c *Client) IngestBatchContext(ctx context.Context, entries []driftlog.Entry, samples [][]float64) (int, error) {
+	codec := c.ingestCodec()
+	data, err := codec.EncodeBatch(&BatchFrame{Entries: entries, Samples: samples})
+	if err != nil {
+		return 0, err
+	}
 	var resp IngestBatchResponse
-	err := c.post(ctx, "/v1/ingest/batch", IngestBatchRequest{Entries: entries, Samples: samples}, &resp)
+	err = c.postRaw(ctx, "/v1/ingest/batch", codec.ContentType(), data, &resp)
 	return resp.Accepted, err
 }
 
@@ -633,11 +714,36 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	if err != nil {
 		return fmt.Errorf("httpapi: marshal: %w", err)
 	}
+	return c.postRaw(ctx, path, ContentTypeJSON, data, out)
+}
+
+// postRaw posts a pre-encoded body under the given content type,
+// gzipping it when the client's Compress flag is set (ingest endpoints
+// only reach here; the server decompresses by Content-Encoding).
+func (c *Client) postRaw(ctx context.Context, path, contentType string, data []byte, out any) error {
+	encoding := ""
+	// Only the ingest endpoints negotiate Content-Encoding; compressing
+	// a control-plane body would be rejected server-side.
+	if c.Compress && strings.HasPrefix(path, "/v1/ingest") {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(data); err != nil {
+			return fmt.Errorf("httpapi: gzip %s: %w", path, err)
+		}
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("httpapi: gzip %s: %w", path, err)
+		}
+		data = buf.Bytes()
+		encoding = "gzip"
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(data))
 	if err != nil {
 		return fmt.Errorf("httpapi: post %s: %w", path, err)
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
+	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return fmt.Errorf("httpapi: post %s: %w", path, err)

@@ -53,6 +53,10 @@ type ChaosConfig struct {
 	// delivery invariant must survive: lost_acked stays 0 because every
 	// acked batch was fsynced before its ack.
 	KillCloudAtWindow int
+	// Binary ships ingest batches with the columnar binary codec
+	// (application/x-nazar-batch) instead of JSON, so injected faults
+	// exercise the wire framing's CRC and truncation handling too.
+	Binary bool
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -71,6 +75,8 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 // ChaosResult is the harness's verdict, JSON-ready for `make chaos`.
 type ChaosResult struct {
 	FaultRate float64 `json:"fault_rate"`
+	// Codec is the ingest media type the fleet's transport used.
+	Codec string `json:"codec"`
 	// Streamed counts entries handed to transport.Client.Report.
 	Streamed int `json:"streamed"`
 	// Acked counts entries the transport confirmed delivered to the
@@ -172,7 +178,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	defer ts.Close()
 
 	ackedSeqs := map[string]int{}
-	client := transport.New(ts.URL, transport.Config{
+	tOpts := []transport.Option{transport.WithConfig(transport.Config{
 		MaxBatch:       8,
 		FlushInterval:  time.Hour, // explicit Flush only: keeps the run deterministic
 		RequestTimeout: 2 * time.Second,
@@ -189,7 +195,13 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 				ackedSeqs[e.Attrs[chaosAttrSeq]]++
 			}
 		},
-	})
+	})}
+	codecName := httpapi.ContentTypeJSON
+	if cfg.Binary {
+		tOpts = append(tOpts, transport.WithCodec(httpapi.BinaryCodec{}))
+		codecName = httpapi.ContentTypeBinary
+	}
+	client := transport.NewClient(ts.URL, tOpts...)
 
 	rng := tensor.NewRand(cfg.Seed, 0xC4A05)
 	fleet := make([]*device.Device, cfg.Devices)
@@ -202,7 +214,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		}, base)
 	}
 
-	res := &ChaosResult{FaultRate: sched.FaultRate()}
+	res := &ChaosResult{FaultRate: sched.FaultRate(), Codec: codecName}
 	start := weather.Day(0)
 	step := time.Minute
 	perWindow := (cfg.PerDevice + cfg.Windows - 1) / cfg.Windows

@@ -154,3 +154,52 @@ func TestChaosKillCloudRequiresWAL(t *testing.T) {
 		t.Fatal("kill without WALDir must be rejected")
 	}
 }
+
+// TestChaosBinaryCodec reruns the delivery audit with the fleet
+// shipping columnar binary frames: injected truncation, resets, and
+// error statuses must surface as typed failures the transport retries
+// — never a lost acknowledged entry, never a panic — and the drift-log
+// state the cloud ends with still matches what was streamed.
+func TestChaosBinaryCodec(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rate float64
+	}{
+		{"clean", 0},
+		{"faults_30pct", 0.3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := RunChaos(ChaosConfig{FaultRate: tc.rate, Seed: 19, Binary: true})
+			if err != nil {
+				t.Fatalf("RunChaos(%v): %v", tc.rate, err)
+			}
+			if out, err := json.Marshal(res); err == nil {
+				t.Logf("chaos result: %s", out)
+			}
+			if res.Codec != "application/x-nazar-batch" {
+				t.Fatalf("run used codec %q, want the binary framing", res.Codec)
+			}
+			if res.LostAcked != 0 {
+				t.Fatalf("LOST %d acknowledged entries at fault rate %v with binary framing", res.LostAcked, tc.rate)
+			}
+			if res.SpoolDropped != 0 {
+				t.Fatalf("spool dropped %d entries", res.SpoolDropped)
+			}
+			if res.Acked != res.Streamed {
+				t.Fatalf("acked %d of %d streamed", res.Acked, res.Streamed)
+			}
+			if res.AnalyzeOK != 2 {
+				t.Fatalf("completed %d analysis cycles, want 2", res.AnalyzeOK)
+			}
+			if tc.rate == 0 {
+				if res.Delivered != res.Streamed || res.Retries != 0 || res.Duplicates != 0 {
+					t.Fatalf("clean binary run: delivered=%d/%d retries=%d duplicates=%d",
+						res.Delivered, res.Streamed, res.Retries, res.Duplicates)
+				}
+				if res.Versions == 0 {
+					t.Fatal("clean binary run installed no adapted versions")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nazar/internal/driftlog"
+	"nazar/internal/httpapi"
+)
+
+// legacyServer mimics a cloud that predates the binary codec: any
+// non-JSON Content-Type gets the 415 + codec_unsupported envelope a
+// real httpapi server would emit, JSON is accepted normally.
+type legacyServer struct {
+	mu       sync.Mutex
+	accepted int
+	refused  int
+}
+
+func (s *legacyServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ct := r.Header.Get("Content-Type")
+		if ct != "" && ct != "application/json" {
+			s.mu.Lock()
+			s.refused++
+			s.mu.Unlock()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusUnsupportedMediaType)
+			_, _ = w.Write([]byte(`{"error":{"code":"codec_unsupported","message":"httpapi: unsupported content type"}}`))
+			return
+		}
+		var req struct {
+			Entries []driftlog.Entry `json:"entries"`
+			Samples [][]float64      `json:"samples"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		s.accepted += len(req.Entries)
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"accepted":` + strconv.Itoa(len(req.Entries)) + `}`))
+	})
+}
+
+// TestCodecDowngradeOnUnsupported: a binary-configured client talking
+// to a JSON-only server must not poison-drop the batch — it downgrades
+// to JSON stickily and re-delivers the same entries.
+func TestCodecDowngradeOnUnsupported(t *testing.T) {
+	srv := &legacyServer{}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	var logBuf bytes.Buffer
+	var logMu sync.Mutex
+	clock := newFakeClock()
+	sleeper := &fakeSleeper{clock: clock}
+	c := NewClient(ts.URL,
+		WithConfig(Config{
+			MaxBatch:       4,
+			FlushInterval:  time.Hour,
+			RequestTimeout: 5 * time.Second,
+			MaxAttempts:    4,
+			SpoolCapacity:  64,
+			Backoff:        BackoffConfig{Base: time.Millisecond, Max: 10 * time.Millisecond, Factor: 2, Jitter: -1},
+			Breaker:        BreakerConfig{Threshold: 100, Cooldown: time.Minute},
+			Logger:         slog.New(slog.NewTextHandler(lockedWriter{&logMu, &logBuf}, nil)),
+			Now:            clock.Now,
+			Sleep:          sleeper.Sleep,
+		}),
+		WithCodec(httpapi.BinaryCodec{}),
+	)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = c.Close(ctx)
+	}()
+
+	for i := 0; i < 3; i++ {
+		if err := c.Report(entryN(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(context.Background()); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	srv.mu.Lock()
+	accepted, refused := srv.accepted, srv.refused
+	srv.mu.Unlock()
+	if refused == 0 {
+		t.Fatal("server never saw the binary codec; test is vacuous")
+	}
+	if accepted != 3 {
+		t.Fatalf("server accepted %d entries after downgrade, want 3", accepted)
+	}
+	st := c.Stats()
+	if st.Rejected != 0 {
+		t.Fatalf("downgrade counted %d rejected entries, want 0", st.Rejected)
+	}
+	if c.API().Codec != nil {
+		t.Fatal("codec not cleared after downgrade; next batch would 415 again")
+	}
+	logMu.Lock()
+	logs := logBuf.String()
+	logMu.Unlock()
+	if !strings.Contains(logs, "downgrading to json") || !strings.Contains(logs, "application/x-nazar-batch") {
+		t.Fatalf("downgrade not logged with the refused content type:\n%s", logs)
+	}
+
+	// Subsequent batches go straight to JSON: refused count stays put.
+	if err := c.Report(entryN(9), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv.mu.Lock()
+	refused2 := srv.refused
+	srv.mu.Unlock()
+	if refused2 != refused {
+		t.Fatalf("client retried the refused codec (%d -> %d refusals)", refused, refused2)
+	}
+}
+
+// TestRejectionLogDetail: a poison-drop's error log must name the
+// negotiated content type and quote a snippet of the server's response
+// body.
+func TestRejectionLogDetail(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":{"code":"invalid_request","message":"httpapi: entry 0 requires attrs"}}`))
+	}))
+	defer ts.Close()
+
+	var logBuf bytes.Buffer
+	var logMu sync.Mutex
+	c, _ := newTestClient(t, ts, func(cfg *Config) {
+		cfg.Logger = slog.New(slog.NewTextHandler(lockedWriter{&logMu, &logBuf}, nil))
+	})
+
+	if err := c.Report(entryN(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(context.Background()); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if st := c.Stats(); st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want 1 rejected", st)
+	}
+	logMu.Lock()
+	logs := logBuf.String()
+	logMu.Unlock()
+	for _, want := range []string{"batch rejected", "content_type=application/json", "entry 0 requires attrs"} {
+		if !strings.Contains(logs, want) {
+			t.Fatalf("rejection log missing %q:\n%s", want, logs)
+		}
+	}
+}
+
+// lockedWriter serializes concurrent slog writes from the worker and
+// the drain path.
+type lockedWriter struct {
+	mu  *sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (w lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}

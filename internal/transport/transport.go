@@ -184,13 +184,57 @@ type Client struct {
 	closeOnce  sync.Once
 }
 
-// New returns a started client for the given server URL.
-func New(baseURL string, cfg Config) *Client {
-	cfg = cfg.withDefaults()
+// Option customizes NewClient (functional options, consistent with
+// cloud.WithClock / httpapi.WithRegistry).
+type Option func(*clientOptions)
+
+type clientOptions struct {
+	cfg      Config
+	codec    httpapi.Codec
+	compress bool
+}
+
+// WithConfig replaces the whole Config (zero fields still default).
+func WithConfig(cfg Config) Option {
+	return func(o *clientOptions) { o.cfg = cfg }
+}
+
+// WithCodec selects the ingest wire codec — e.g.
+// httpapi.BinaryCodec{} for the columnar binary framing. If the server
+// refuses the codec (415 / codec_unsupported) the client logs it and
+// downgrades to JSON for the rest of its life, so a fleet can roll a
+// new codec before its cloud does.
+func WithCodec(c httpapi.Codec) Option {
+	return func(o *clientOptions) { o.codec = c }
+}
+
+// WithCompression gzips spooled ingest frames on the wire.
+func WithCompression(on bool) Option {
+	return func(o *clientOptions) { o.compress = on }
+}
+
+// WithBatcher tunes the spool's shipping cadence: entries per
+// IngestBatch round-trip and the partial-batch flush interval.
+func WithBatcher(maxBatch int, flushInterval time.Duration) Option {
+	return func(o *clientOptions) {
+		o.cfg.MaxBatch = maxBatch
+		o.cfg.FlushInterval = flushInterval
+	}
+}
+
+// NewClient returns a started client for the given server URL.
+func NewClient(baseURL string, opts ...Option) *Client {
+	var o clientOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := o.cfg.withDefaults()
 	api := httpapi.NewClient(baseURL)
 	// Attempt deadlines come from per-request contexts, not a global
 	// client timeout (which would also cap slow-but-progressing pulls).
 	api.HTTP = &http.Client{Transport: cfg.HTTPTransport}
+	api.Codec = o.codec
+	api.Compress = o.compress
 	c := &Client{
 		api:        api,
 		cfg:        cfg,
@@ -205,6 +249,15 @@ func New(baseURL string, cfg Config) *Client {
 	c.bgCtx, c.bgCancel = context.WithCancel(context.Background())
 	go c.worker()
 	return c
+}
+
+// New returns a started client for the given server URL.
+//
+// Deprecated: use NewClient with WithConfig (plus WithCodec /
+// WithCompression / WithBatcher as needed). Kept as a thin wrapper so
+// existing call sites migrate mechanically.
+func New(baseURL string, cfg Config) *Client {
+	return NewClient(baseURL, WithConfig(cfg))
 }
 
 // Report queues one drift-log entry (+ optional sample) for delivery.
@@ -341,13 +394,24 @@ func (c *Client) sendBatch(ctx context.Context, entries []driftlog.Entry, sample
 		}
 		return nil
 	case isPermanent(err):
+		if c.downgradeCodec(err) {
+			// The server refused the codec, not the data. Re-send the
+			// same batch as JSON instead of poison-dropping it; the
+			// codec field is already cleared (we hold drainMu), so the
+			// recursion cannot downgrade twice.
+			return c.sendBatch(ctx, entries, samples, lastSeq)
+		}
 		// The server understood the request and refused it; retrying
 		// the same bytes cannot succeed. Drop the batch rather than
 		// wedging the spool behind a poison batch.
 		c.spool.AckThrough(lastSeq)
 		c.rejects.Add(uint64(len(entries)))
 		c.m.rejected.Add(uint64(len(entries)))
-		c.cfg.Logger.Error("transport: batch rejected", "entries", len(entries), "err", err)
+		c.cfg.Logger.Error("transport: batch rejected",
+			"entries", len(entries),
+			"content_type", c.ingestContentType(),
+			"body_snippet", bodySnippet(err),
+			"err", err)
 		if c.cfg.OnDrop != nil {
 			for _, e := range entries {
 				c.cfg.OnDrop(e, "rejected")
@@ -420,6 +484,53 @@ func isPermanent(err error) bool {
 		return apiErr.Status >= 400 && apiErr.Status < 500 && apiErr.Status != http.StatusTooManyRequests
 	}
 	return false
+}
+
+// downgradeCodec checks whether a permanent rejection is really a
+// codec-negotiation failure (415 or codec_unsupported) while a
+// non-JSON codec is configured. If so it stickily clears the codec —
+// the caller holds drainMu, which serializes every sendBatch — and
+// reports that the batch deserves one more attempt as JSON.
+func (c *Client) downgradeCodec(err error) bool {
+	if c.api.Codec == nil || c.api.Codec.ContentType() == httpapi.ContentTypeJSON {
+		return false
+	}
+	var apiErr *httpapi.APIError
+	if !errors.As(err, &apiErr) {
+		return false
+	}
+	if apiErr.Code != httpapi.CodeCodecUnsupported && apiErr.Status != http.StatusUnsupportedMediaType {
+		return false
+	}
+	c.cfg.Logger.Warn("transport: server refused codec, downgrading to json",
+		"content_type", c.api.Codec.ContentType(), "err", err)
+	c.api.Codec = nil
+	return true
+}
+
+// ingestContentType names the media type batches are currently encoded
+// with — the negotiated codec's, or the JSON default.
+func (c *Client) ingestContentType() string {
+	if c.api.Codec != nil {
+		return c.api.Codec.ContentType()
+	}
+	return httpapi.ContentTypeJSON
+}
+
+// bodySnippet extracts a bounded slice of the server's response body
+// from a rejection error, so the poison-drop log line shows what the
+// server actually said.
+func bodySnippet(err error) string {
+	var apiErr *httpapi.APIError
+	if !errors.As(err, &apiErr) {
+		return ""
+	}
+	const maxSnippet = 200
+	msg := apiErr.Message
+	if len(msg) > maxSnippet {
+		msg = msg[:maxSnippet] + "..."
+	}
+	return msg
 }
 
 // retryAfter extracts the server's Retry-After hint, if any.

@@ -1,0 +1,222 @@
+package wire_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"nazar/internal/driftlog"
+	"nazar/internal/tensor"
+	"nazar/internal/wire"
+)
+
+// randEntries fabricates entries with deliberately awkward shapes:
+// attributes missing at random (odd shard fills on append), empty
+// values, scattered timestamps, negative sample IDs.
+func randEntries(r *rand.Rand, n int) []driftlog.Entry {
+	base := time.Unix(0, 0).UTC()
+	entries := make([]driftlog.Entry, n)
+	for i := range entries {
+		attrs := map[string]string{}
+		if r.Float64() < 0.9 {
+			attrs[driftlog.AttrWeather] = fmt.Sprintf("w%d", r.Intn(4))
+		}
+		if r.Float64() < 0.8 {
+			attrs[driftlog.AttrDevice] = fmt.Sprintf("dev_%d", r.Intn(12))
+		}
+		if r.Float64() < 0.1 {
+			attrs["note"] = "" // empty value is legal and distinct from missing
+		}
+		entries[i] = driftlog.Entry{
+			Time:     base.Add(time.Duration(r.Intn(5000)) * time.Millisecond),
+			Drift:    r.Float64() < 0.4,
+			SampleID: int64(r.Intn(30)) - 1,
+			Attrs:    attrs,
+		}
+	}
+	return entries
+}
+
+func randSamples(r *rand.Rand, n int) [][]float64 {
+	if n == 0 || r.Float64() < 0.3 {
+		return nil
+	}
+	samples := make([][]float64, n)
+	for i := range samples {
+		if r.Float64() < 0.4 {
+			s := make([]float64, 1+r.Intn(6))
+			for j := range s {
+				s[j] = r.NormFloat64()
+			}
+			samples[i] = s
+		}
+	}
+	return samples
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		entries := randEntries(r, r.Intn(100))
+		samples := randSamples(r, len(entries))
+		b := wire.FromEntries(entries, samples)
+		frame, err := wire.EncodeBatch(b)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		got, err := wire.DecodeBatch(frame, 0)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got.Entries(), b.Entries()) {
+			t.Fatalf("seed %d: entries diverged after round trip", seed)
+		}
+		wantSamples := samples
+		if allNil(wantSamples) {
+			wantSamples = nil // a frame with no samples decodes to a nil section
+		}
+		if !reflect.DeepEqual(got.Samples, wantSamples) {
+			t.Fatalf("seed %d: samples diverged:\n got %v\nwant %v", seed, got.Samples, wantSamples)
+		}
+	}
+}
+
+func allNil(samples [][]float64) bool {
+	for _, s := range samples {
+		if s != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBinaryJSONDifferential pins the API redesign's core promise: a
+// batch shipped through the binary frame and appended columnar leaves
+// the store in exactly the state the JSON row path produces — across
+// odd shard fills, empty batches, and at compute pool widths 1 and 8.
+func TestBinaryJSONDifferential(t *testing.T) {
+	defer tensor.SetMaxWorkers(0)
+	for _, workers := range []int{1, 8} {
+		tensor.SetMaxWorkers(workers)
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			for seed := int64(0); seed < 10; seed++ {
+				r := rand.New(rand.NewSource(1000 + seed))
+				n := r.Intn(150)
+				if seed == 0 {
+					n = 0 // always cover the empty batch
+				}
+				entries := randEntries(r, n)
+
+				// JSON path: marshal/unmarshal the rows (what the JSON
+				// codec ships), append row-form.
+				data, err := json.Marshal(entries)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var viaJSON []driftlog.Entry
+				if err := json.Unmarshal(data, &viaJSON); err != nil {
+					t.Fatal(err)
+				}
+				jsonStore := driftlog.NewStore()
+				jsonStore.AppendBatch(viaJSON)
+
+				// Binary path: encode, decode, append columnar.
+				frame, err := wire.EncodeBatch(wire.FromEntries(entries, nil))
+				if err != nil {
+					t.Fatalf("seed %d: encode: %v", seed, err)
+				}
+				decoded, err := wire.DecodeBatch(frame, 0)
+				if err != nil {
+					t.Fatalf("seed %d: decode: %v", seed, err)
+				}
+				binStore := driftlog.NewStore()
+				if err := binStore.AppendColumns(&decoded.Columns); err != nil {
+					t.Fatalf("seed %d: append columns: %v", seed, err)
+				}
+
+				if jsonStore.Len() != binStore.Len() {
+					t.Fatalf("seed %d: json store %d rows, binary store %d", seed, jsonStore.Len(), binStore.Len())
+				}
+				for i := 0; i < jsonStore.Len(); i++ {
+					je, be := jsonStore.Entry(i), binStore.Entry(i)
+					if !reflect.DeepEqual(je, be) {
+						t.Fatalf("seed %d row %d:\n json %+v\n binary %+v", seed, i, je, be)
+					}
+				}
+				jc := jsonStore.All().AttrValueCounts(nil)
+				bc := binStore.All().AttrValueCounts(nil)
+				if !reflect.DeepEqual(jc, bc) {
+					t.Fatalf("seed %d: counts diverge\n json %v\n binary %v", seed, jc, bc)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeTypedErrors(t *testing.T) {
+	valid, err := wire.EncodeBatch(wire.FromEntries(randEntries(rand.New(rand.NewSource(3)), 8), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, frame []byte, wantSub string) {
+		t.Helper()
+		_, err := wire.DecodeBatch(frame, 0)
+		if err == nil {
+			t.Fatalf("%s: decode accepted a corrupt frame", name)
+		}
+		var derr *wire.DecodeError
+		if !asDecodeError(err, &derr) {
+			t.Fatalf("%s: error %T is not *wire.DecodeError: %v", name, err, err)
+		}
+		if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, wantSub)
+		}
+	}
+
+	check("empty", nil, "short frame")
+	check("torn header", valid[:10], "short frame")
+	check("torn payload", valid[:len(valid)-3], "does not match")
+
+	bad := append([]byte(nil), valid...)
+	bad[0] = 'X'
+	check("bad magic", bad, "bad magic")
+
+	bad = append([]byte(nil), valid...)
+	bad[4] = 99
+	check("future version", bad, "unsupported frame version")
+
+	bad = append([]byte(nil), valid...)
+	bad[5] |= 0x80
+	check("unknown flags", bad, "unknown flag bits")
+
+	bad = append([]byte(nil), valid...)
+	bad[len(bad)-1] ^= 0xFF
+	check("payload corruption", bad, "crc mismatch")
+
+	bad = append([]byte(nil), valid...)
+	bad[10] ^= 0xFF
+	check("crc corruption", bad, "crc mismatch")
+
+	// Row count beyond the server's batch cap.
+	big, err := wire.EncodeBatch(wire.FromEntries(randEntries(rand.New(rand.NewSource(4)), 20), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.DecodeBatch(big, 5); err == nil {
+		t.Fatal("maxRows: decode accepted 20 rows with limit 5")
+	} else if !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("maxRows: unexpected error %v", err)
+	}
+}
+
+func asDecodeError(err error, target **wire.DecodeError) bool {
+	de, ok := err.(*wire.DecodeError)
+	if ok {
+		*target = de
+	}
+	return ok
+}
