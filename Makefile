@@ -58,9 +58,10 @@ fuzz:
 
 # 30 seconds of coverage-guided fuzzing per target across every fuzz
 # entry point in the repo: the HTTP decoders, the drift-log snapshot
-# reader, the count differential, the fault-schedule parser, and WAL
-# replay. CI runs this on every push; interesting inputs it finds
-# should be committed under the package's testdata/fuzz corpus.
+# reader, the count differential, the fault-schedule parser, WAL
+# replay, and the quantized int8 model pass. CI runs this on every
+# push; interesting inputs it finds should be committed under the
+# package's testdata/fuzz corpus.
 fuzz-smoke:
 	$(GO) test ./internal/httpapi/ -run '^$$' -fuzz FuzzIngestBatch -fuzztime 30s
 	$(GO) test ./internal/httpapi/ -run '^$$' -fuzz FuzzAnalyzeRequest -fuzztime 30s
@@ -69,6 +70,7 @@ fuzz-smoke:
 	$(GO) test ./internal/driftlog/ -run '^$$' -fuzz FuzzWALReplay -fuzztime 30s
 	$(GO) test ./internal/faultinject/ -run '^$$' -fuzz FuzzParseSchedule -fuzztime 30s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzWireDecode -fuzztime 30s
+	$(GO) test ./internal/nn/ -run '^$$' -fuzz FuzzQuantizedForward -fuzztime 30s
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkRunWindow$$' -benchtime 2s .

@@ -136,7 +136,8 @@ func parseBenchLine(line string) (Benchmark, bool) {
 // bitset-vs-scan analytics, cached-vs-first window re-mining,
 // keyed-vs-rebuild candidate sorting, append cost without vs with
 // the write-ahead log (where the "speedup" reads as the durability
-// overhead factor), and binary-vs-json ingest wire codecs.
+// overhead factor), binary-vs-json ingest wire codecs, and the
+// int8-vs-float quantized execution mode.
 var variantPairs = []struct{ fast, slow string }{
 	{"blocked", "ref"},
 	{"bitset", "scan"},
@@ -144,6 +145,7 @@ var variantPairs = []struct{ fast, slow string }{
 	{"keyed", "rebuild"},
 	{"nowal", "wal"},
 	{"binary", "json"},
+	{"int8", "float"},
 }
 
 // speedups pairs Foo/<fast>/N with Foo/<slow>/N benchmarks (the size

@@ -9,9 +9,14 @@
 //	nazar-device [-server http://localhost:8750] [-devices 4] [-days 28]
 //	             [-per-day 8] [-location Hamburg] [-severity 3] [-seed 42]
 //	             [-classes 24] [-analyze-every-days 7]
+//	             [-quant [-quant-shadow-every N]]
 //
 // The -classes and -seed flags must match the server so the device draws
 // from the same synthetic world.
+//
+// -quant serves every inference through the int8 fast path (calibrated
+// on clean world samples); -quant-shadow-every N also runs the float
+// model every Nth inference and reports drift-verdict disagreements.
 package main
 
 import (
@@ -44,6 +49,8 @@ func main() {
 		classes  = flag.Int("classes", 24, "world classes (must match server)")
 		analyze  = flag.Int("analyze-every-days", 7, "trigger cloud analysis every N days (0 = never)")
 		useDelta = flag.Bool("delta", false, "pull versions as quantized BN deltas (~4x less bandwidth)")
+		quant    = flag.Bool("quant", false, "serve inference through the int8 fast path")
+		qShadow  = flag.Int("quant-shadow-every", 0, "with -quant, run the float model every Nth inference and report drift-verdict disagreements (0 = never)")
 	)
 	flag.Parse()
 
@@ -59,14 +66,28 @@ func main() {
 		log.Fatalf("nazar-device: base model mismatch (check -classes/-seed): %v", err)
 	}
 
+	// Quantized mode calibrates activation scales on clean world
+	// samples — the distribution the base model was trained on.
+	var cal *tensor.Matrix
+	if *quant {
+		calRng := tensor.NewRand(*seed, 0xCA1)
+		cal = tensor.New(96, world.Dim())
+		for i := 0; i < cal.Rows; i++ {
+			copy(cal.Row(i), world.Sample(i%*classes, calRng))
+		}
+	}
+
 	fleet := make([]*device.Device, *devices)
 	for i := range fleet {
 		fleet[i] = device.New(device.Config{
-			ID:         fmt.Sprintf("android_%s_%d", *location, i),
-			Location:   *location,
-			SampleRate: 0.5,
-			Detector:   detect.Threshold{Scorer: detect.MSP{}, T: 0.95},
-			Rng:        tensor.NewRand(*seed+uint64(i), 0xFEE7),
+			ID:          fmt.Sprintf("android_%s_%d", *location, i),
+			Location:    *location,
+			SampleRate:  0.5,
+			Detector:    detect.Threshold{Scorer: detect.MSP{}, T: 0.95},
+			Quantized:   *quant,
+			Calibration: cal,
+			ShadowEvery: *qShadow,
+			Rng:         tensor.NewRand(*seed+uint64(i), 0xFEE7),
 		}, base)
 	}
 
@@ -81,6 +102,7 @@ func main() {
 	gen := weather.NewGenerator(*seed)
 	rng := tensor.NewRand(*seed, 0xF1EE7)
 	var acc, driftAcc metrics.RunningAccuracy
+	var quantSat, shadowChecks, shadowDisagree int
 	lastPull := time.Time{}
 
 	for d := 0; d < *days && d < weather.Days(); d++ {
@@ -106,6 +128,13 @@ func main() {
 				acc.Observe(correct)
 				if drifted {
 					driftAcc.Observe(correct)
+				}
+				quantSat += inf.QuantSat
+				if inf.ShadowChecked {
+					shadowChecks++
+					if inf.ShadowDisagree {
+						shadowDisagree++
+					}
 				}
 				if err := client.Ingest(entry, sample); err != nil {
 					log.Fatalf("nazar-device: ingest: %v", err)
@@ -144,6 +173,14 @@ func main() {
 	}
 	fmt.Printf("streamed %d days: accuracy all %.1f%% (n=%d), drifted %.1f%% (n=%d)\n",
 		*days, 100*acc.Value(), acc.Total, 100*driftAcc.Value(), driftAcc.Total)
+	if *quant {
+		fmt.Printf("int8 serving: %d requant saturations", quantSat)
+		if shadowChecks > 0 {
+			fmt.Printf(", drift-verdict disagreement %d/%d (%.2f%%)",
+				shadowDisagree, shadowChecks, 100*float64(shadowDisagree)/float64(shadowChecks))
+		}
+		fmt.Println()
+	}
 }
 
 // conditionCorruption maps a weather condition to its drift operator.

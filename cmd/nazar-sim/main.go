@@ -8,6 +8,13 @@
 //	nazar-sim [-dataset cityscapes|animals] [-strategy nazar|adapt-all|no-adapt]
 //	          [-arch resnet18|resnet34|resnet50] [-windows 8] [-severity 3]
 //	          [-alpha 0] [-total 4000] [-epochs 25] [-seed 42]
+//	          [-quant [-quant-shadow-every N]]
+//
+// -quant serves every on-device inference through the int8 fast path
+// (per-channel quantized weights, fused requantization, drift detection
+// on quantized logits); -quant-shadow-every N additionally runs the
+// float model on every Nth inference and reports drift-verdict
+// disagreements after the run.
 //
 // Chaos mode replaces the in-process workload with the fault-injected
 // HTTP harness (fleet → resilient transport → injected-fault wire →
@@ -29,6 +36,7 @@ import (
 	"nazar/internal/faultinject"
 	"nazar/internal/imagesim"
 	"nazar/internal/nn"
+	"nazar/internal/obs"
 	"nazar/internal/pipeline"
 )
 
@@ -43,6 +51,8 @@ func main() {
 		total    = flag.Int("total", 4000, "cityscapes total image count")
 		epochs   = flag.Int("epochs", 25, "base-model training epochs")
 		seed     = flag.Uint64("seed", 42, "random seed")
+		quant    = flag.Bool("quant", false, "serve on-device inference through the int8 fast path")
+		qShadow  = flag.Int("quant-shadow-every", 0, "with -quant, run the float model every Nth inference and report drift-verdict disagreements (0 = never)")
 
 		chaos         = flag.Bool("chaos", false, "run the fault-injected chaos harness instead of the workload")
 		chaosRates    = flag.String("chaos-rates", "0,0.1,0.3", "comma-separated fault rates for -chaos")
@@ -86,6 +96,13 @@ func main() {
 	cfg := pipeline.DefaultConfig(pipeline.Strategy(*strategy), *seed)
 	cfg.Windows = *windows
 	cfg.Severity = *severity
+	cfg.Quantized = *quant
+	cfg.QuantShadowEvery = *qShadow
+	var reg *obs.Registry
+	if *quant {
+		reg = obs.NewRegistry()
+		cfg.Observer = reg
+	}
 	res, err := pipeline.Run(ds, base, cfg)
 	if err != nil {
 		log.Fatalf("nazar-sim: %v", err)
@@ -103,6 +120,18 @@ func main() {
 		*windows-1, 100*mAll, 100*sdAll, 100*mDrift, 100*sdDrift)
 	for corr, ra := range res.PerDrift {
 		fmt.Printf("  drift %-18s accuracy %.1f%% (n=%d)\n", corr, 100*ra.Value(), ra.Total)
+	}
+	if reg != nil {
+		var buf strings.Builder
+		if err := reg.WritePrometheus(&buf); err != nil {
+			log.Fatalf("nazar-sim: %v", err)
+		}
+		fmt.Println("\nquantized serving:")
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(line, "nazar_quant_") {
+				fmt.Println("  " + line)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,121 @@
+package adapt
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"nazar/internal/imagesim"
+	"nazar/internal/nn"
+	"nazar/internal/tensor"
+)
+
+// TestAdaptQuantizedRefoldCycle pins the tentpole adaptation contract:
+// TENT trains BN γ/β on the float side while serving stays on int8 the
+// whole time — after each epoch only the requantization epilogues
+// (Mul/FBias) are re-folded, and the packed weight codes never change.
+func TestAdaptQuantizedRefoldCycle(t *testing.T) {
+	r := getRig(t)
+	rng := tensor.NewRand(21, 21)
+	foggyAdapt := r.world.CorruptBatch(r.trainX, imagesim.Fog, imagesim.DefaultSeverity, rng)
+	foggyTest := r.world.CorruptBatch(r.valX, imagesim.Fog, imagesim.DefaultSeverity, rng)
+
+	// The pre-adaptation int8 serving model, calibrated on the same
+	// drifted pool the adaptation will use.
+	qbase, err := nn.QuantizeInt8(r.base, foggyAdapt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := qbase.Accuracy(foggyTest, r.valY)
+
+	var epochs []int
+	cfg := Config{Rng: rng, AfterEpoch: func(net *nn.Network, epoch int) {
+		epochs = append(epochs, epoch)
+	}}
+	adapted, qn, err := AdaptQuantized(context.Background(), r.base, foggyAdapt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The caller's AfterEpoch hook still runs, once per epoch.
+	if len(epochs) != 3 {
+		t.Fatalf("user AfterEpoch hook ran %d times, want 3 (default epochs)", len(epochs))
+	}
+	for i, e := range epochs {
+		if e != i {
+			t.Fatalf("epoch sequence %v", epochs)
+		}
+	}
+
+	// Int8 serving recovers with the adaptation and tracks the float
+	// model it is folded from.
+	floatAcc := adapted.Accuracy(foggyTest, r.valY)
+	qAcc := qn.Accuracy(foggyTest, r.valY)
+	if qAcc < before+0.05 {
+		t.Fatalf("quantized serving should recover >= 5 points via refolds: %v -> %v", before, qAcc)
+	}
+	if math.Abs(floatAcc-qAcc) > 0.05 {
+		t.Fatalf("int8 accuracy %v strays from float %v", qAcc, floatAcc)
+	}
+
+	// Adaptation froze everything except BN, so the packed codes and
+	// per-column weight scales are bit-identical to a quantization of
+	// the unadapted base: only the epilogues moved.
+	for li, l := range qn.Layers {
+		bl := qbase.Layers[li]
+		for i, c := range l.W.Data {
+			if c != bl.W.Data[i] {
+				t.Fatalf("layer %d code %d changed during adaptation", li, i)
+			}
+		}
+		for j, s := range l.W.Scales {
+			if s != bl.W.Scales[j] {
+				t.Fatalf("layer %d weight scale %d changed during adaptation", li, j)
+			}
+		}
+	}
+
+	// Refold after the run is a no-op: the final epoch already folded.
+	mul0 := append([]float64(nil), qn.Layers[0].Mul...)
+	fb0 := append([]float64(nil), qn.Layers[0].FBias...)
+	qn.Refold()
+	for j := range mul0 {
+		if mul0[j] != qn.Layers[0].Mul[j] || fb0[j] != qn.Layers[0].FBias[j] {
+			t.Fatal("Refold after the final epoch is not idempotent")
+		}
+	}
+
+	// The pair stays bound after the run: pushing a different BN state
+	// onto the float side propagates through the next Refold.
+	if err := nn.CaptureBN(r.base).ApplyTo(adapted); err != nil {
+		t.Fatal(err)
+	}
+	qn.Refold()
+	changed := false
+	for j := range mul0 {
+		if qn.Layers[0].Mul[j] != mul0[j] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("Refold did not pick up BN state applied to the float side")
+	}
+}
+
+// TestAdaptQuantizedPropagatesErrors checks that float-side adaptation
+// failures surface instead of returning a half-built quantized model.
+func TestAdaptQuantizedPropagatesErrors(t *testing.T) {
+	r := getRig(t)
+	if _, _, err := AdaptQuantized(context.Background(), r.base, nil, Config{}); err == nil {
+		t.Fatal("nil samples must error")
+	}
+	if _, _, err := AdaptQuantized(context.Background(), r.base, r.valX, Config{Method: MEMO}); err == nil {
+		t.Fatal("MEMO without augment must error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := AdaptQuantized(ctx, r.base, r.valX, Config{}); err == nil {
+		t.Fatal("cancelled context must error")
+	}
+}

@@ -15,6 +15,9 @@ var mspBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.
 //	nazar_device_sampled_total                    inputs uploaded
 //	nazar_device_adapted_total                    inferences served by an adapted version
 //	nazar_device_msp                              MSP confidence distribution (histogram)
+//	nazar_quant_inferences_total                  predictions served on the int8 fast path
+//	nazar_quant_saturations_total                 requantization clamps to ±127 (calibration-coverage alarm)
+//	nazar_quant_shadow_total{verdict="agree"|"disagree"}  float-shadow drift-verdict comparisons
 type Metrics struct {
 	inferences *obs.Counter
 	drifted    *obs.Counter
@@ -22,6 +25,11 @@ type Metrics struct {
 	sampled    *obs.Counter
 	adapted    *obs.Counter
 	msp        *obs.Histogram
+
+	quantInferences *obs.Counter
+	quantSat        *obs.Counter
+	shadowAgree     *obs.Counter
+	shadowDisagree  *obs.Counter
 }
 
 // NewMetrics registers the device instrument set on reg (panics when the
@@ -39,6 +47,14 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Inferences served by an adapted (non-clean) version."),
 		msp: reg.Histogram("nazar_device_msp",
 			"Maximum-softmax-probability distribution.", mspBuckets),
+		quantInferences: reg.Counter("nazar_quant_inferences_total",
+			"Predictions served by the int8 fast path."),
+		quantSat: reg.Counter("nazar_quant_saturations_total",
+			"Requantization saturations (activation codes clamped to ±127)."),
+		shadowAgree: reg.Counter("nazar_quant_shadow_total",
+			"Float-shadow drift-verdict comparisons.", obs.L("verdict", "agree")),
+		shadowDisagree: reg.Counter("nazar_quant_shadow_total",
+			"Float-shadow drift-verdict comparisons.", obs.L("verdict", "disagree")),
 	}
 }
 
@@ -60,4 +76,15 @@ func (m *Metrics) observe(inf Inference) {
 		m.adapted.Inc()
 	}
 	m.msp.Observe(inf.MSP)
+	if inf.Quantized {
+		m.quantInferences.Inc()
+		m.quantSat.Add(uint64(inf.QuantSat))
+	}
+	if inf.ShadowChecked {
+		if inf.ShadowDisagree {
+			m.shadowDisagree.Inc()
+		} else {
+			m.shadowAgree.Inc()
+		}
+	}
 }

@@ -462,6 +462,21 @@ func TestQuantizationShape(t *testing.T) {
 	if !(res.Size[4] < res.Size[8] && res.Size[8] < res.Size[64]) {
 		t.Fatal("sizes not shrinking")
 	}
+	// The real int8 execution mode: near-lossless, and smaller than the
+	// 8-bit storage estimate because BN folds into the requantization
+	// epilogue instead of being stored.
+	if res.Int8Acc < res.Acc[64]-0.05 {
+		t.Fatalf("fused int8 should be nearly lossless: %v vs %v", res.Int8Acc, res.Acc[64])
+	}
+	if res.Int8Size > res.Size[8] {
+		t.Fatalf("fused int8 size %d exceeds the 8-bit estimate %d", res.Int8Size, res.Size[8])
+	}
+	if res.Int8Speedup <= 0 {
+		t.Fatal("int8 serving speedup not measured")
+	}
+	if res.Int8WorstDrop < 0 || res.Int8WorstDrop > 1 {
+		t.Fatalf("int8 worst-class drop %v out of range", res.Int8WorstDrop)
+	}
 }
 
 func TestHardwareFaultShape(t *testing.T) {

@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"nazar/internal/nn"
+	"nazar/internal/tensor"
 )
 
 // QuantizationResult measures compression-induced per-class degradation
@@ -18,8 +20,19 @@ type QuantizationResult struct {
 	// relative to the float model.
 	WorstClassDrop map[int]float64
 	// Size[bits] is the serialized model size.
-	Size  map[int]int
-	Table *Table
+	Size map[int]int
+	// Int8Acc / Int8WorstDrop / Int8Size measure the real int8
+	// execution mode (per-channel weight scales, BN folded into the
+	// requantization epilogue, fused int8 kernels) rather than the
+	// fake-quant round-trips of the bit sweep.
+	Int8Acc       float64
+	Int8WorstDrop float64
+	Int8Size      int
+	// Int8Speedup is the measured single-core serving speedup of the
+	// int8 pass over the float pass on this model (indicative only —
+	// BENCH_kernels.json carries the controlled measurement).
+	Int8Speedup float64
+	Table       *Table
 }
 
 // Quantization sweeps weight bit widths and reports overall accuracy,
@@ -63,8 +76,77 @@ func Quantization(o Options) (*QuantizationResult, error) {
 		res.WorstClassDrop[bits] = worst
 		table.AddRow(fmt.Sprint(bits), fmt.Sprint(res.Size[bits]), pct(res.Acc[bits]), pct(worst))
 	}
+
+	// The real int8 execution mode: per-channel weights, activation
+	// scales calibrated on the training split, serving fully fused
+	// (never dequantized).
+	calRows := min(128, r.trainX.Rows)
+	cal := tensor.New(calRows, r.trainX.Cols)
+	copy(cal.Data, r.trainX.Data[:calRows*r.trainX.Cols])
+	qn, err := nn.QuantizeInt8(base, cal)
+	if err != nil {
+		return nil, err
+	}
+	res.Int8Acc = qn.Accuracy(r.valX, r.valY)
+	res.Int8Size = qn.SizeBytes()
+	res.Int8WorstDrop = worstClassDrop(floatAcc, qn.Predict(r.valX), r.valY, r.world.Classes())
+	res.Int8Speedup = serveSpeedup(base, qn, r.valX)
+	table.AddRow("int8 (fused)", fmt.Sprint(res.Int8Size), pct(res.Int8Acc),
+		fmt.Sprintf("%s (%.1fx serve)", pct(res.Int8WorstDrop), res.Int8Speedup))
+
 	table.Notes = append(table.Notes,
-		"§2 motivation: compression damage concentrates on specific classes and is hard to anticipate")
+		"§2 motivation: compression damage concentrates on specific classes and is hard to anticipate",
+		"the int8 (fused) row is the deployed execution mode: per-channel scales with BN folded into the requantization epilogue, served without dequantizing")
 	res.Table = table
 	return res, nil
+}
+
+// worstClassDrop computes the largest per-class accuracy drop of preds
+// relative to the float per-class accuracies.
+func worstClassDrop(floatAcc []float64, preds, labels []int, classes int) float64 {
+	correct := make([]int, classes)
+	total := make([]int, classes)
+	for i, p := range preds {
+		total[labels[i]]++
+		if p == labels[i] {
+			correct[labels[i]]++
+		}
+	}
+	worst := 0.0
+	for c := 0; c < classes; c++ {
+		if total[c] == 0 {
+			continue
+		}
+		worst = math.Max(worst, floatAcc[c]-float64(correct[c])/float64(total[c]))
+	}
+	return worst
+}
+
+// serveSpeedup times single-core one-input serving (the on-device hot
+// path) on both execution modes, best of three passes each.
+func serveSpeedup(net *nn.Network, qn *nn.QuantizedNetwork, x *tensor.Matrix) float64 {
+	tensor.SetMaxWorkers(1)
+	defer tensor.SetMaxWorkers(0)
+	rows := min(64, x.Rows)
+	timeIt := func(f func([]float64)) time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			for i := 0; i < rows; i++ {
+				f(x.Row(i))
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	qn.LogitsOne(x.Row(0)) // warm scratch
+	net.LogitsOne(x.Row(0))
+	intT := timeIt(func(row []float64) { qn.LogitsOne(row) })
+	floatT := timeIt(func(row []float64) { net.LogitsOne(row) })
+	if intT <= 0 {
+		return 0
+	}
+	return float64(floatT) / float64(intT)
 }

@@ -58,6 +58,47 @@ func CalibrateTemperature(net *Network, x *tensor.Matrix, labels []int) (float64
 	return (lo + hi) / 2, nil
 }
 
+// ActivationScales calibrates the int8 activation scales for the
+// quantized execution mode: it runs x (a representative batch, e.g.
+// held-out training data) through the float network in Eval mode and
+// returns one symmetric scale per quantizable block — scales[i] maps
+// block i's input activations onto the ±127 code range. The final
+// block's output is not scaled (it emits float logits).
+func ActivationScales(net *Network, x *tensor.Matrix) ([]float64, error) {
+	blocks, err := quantBlocks(net)
+	if err != nil {
+		return nil, err
+	}
+	if x == nil || x.Rows == 0 {
+		return nil, fmt.Errorf("nn: activation calibration needs a non-empty batch")
+	}
+	if x.Cols != blocks[0].dense.In {
+		return nil, fmt.Errorf("nn: calibration batch dim %d, network input dim %d", x.Cols, blocks[0].dense.In)
+	}
+	scales := make([]float64, len(blocks))
+	h := x
+	for i, b := range blocks {
+		var maxAbs float64
+		for _, v := range h.Data {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scales[i] = tensor.I8ScaleFor(maxAbs)
+		if i == len(blocks)-1 {
+			break
+		}
+		h = b.dense.Forward(h, Eval)
+		if b.bn != nil {
+			h = b.bn.Forward(h, Eval)
+		}
+		if b.relu != nil {
+			h = b.relu.Forward(h, Eval)
+		}
+	}
+	return scales, nil
+}
+
 // TemperatureScaledMSP returns the maximum softmax probability of logits
 // at the given temperature — the calibrated confidence score.
 func TemperatureScaledMSP(logits []float64, temp float64) float64 {

@@ -5,11 +5,17 @@ import (
 	"math"
 )
 
-// Quantize returns a copy of the network whose weights have been
-// quantized to the given bit width (symmetric per-tensor linear
-// quantization, the scheme mobile deployment pipelines use to shrink
-// models). Batch-norm running statistics are kept at full precision, as
-// deployment toolchains do.
+// Quantize returns a copy of the network whose Dense weight matrices
+// have been quantized to the given bit width with one symmetric scale
+// per output channel (per weight column) — the scheme mobile deployment
+// pipelines use to shrink models. Dense biases, batch-norm affine
+// parameters, and batch-norm running statistics stay at full precision,
+// as deployment toolchains keep them.
+//
+// The returned network still stores float64 weights (the quantization
+// grid is applied as a round trip) so it slots into every float code
+// path; QuantizeInt8 is the true int8-storage serving form and shares
+// the same per-channel grid at bits=8.
 //
 // The paper's §2 motivates Nazar partly with compression-induced
 // degradation: quantization shrinks models dramatically but "can lead to
@@ -21,39 +27,56 @@ func Quantize(net *Network, bits int) (*Network, error) {
 		return nil, fmt.Errorf("nn: quantization bits %d outside [2, 16]", bits)
 	}
 	q := net.Clone()
-	levels := float64(int(1) << (bits - 1)) // symmetric: ±(levels-1)
-	for _, p := range q.Params() {
-		var maxAbs float64
-		for _, v := range p.W.Data {
-			if a := math.Abs(v); a > maxAbs {
-				maxAbs = a
-			}
-		}
-		if maxAbs == 0 {
+	maxCode := float64(int(1)<<(bits-1)) - 1 // symmetric: ±maxCode
+	for _, l := range q.LayersList {
+		d, ok := l.(*Dense)
+		if !ok {
 			continue
 		}
-		scale := maxAbs / (levels - 1)
-		for i, v := range p.W.Data {
-			qv := math.Round(v / scale)
-			if qv > levels-1 {
-				qv = levels - 1
+		w := d.w.W
+		for j := 0; j < w.Cols; j++ {
+			var maxAbs float64
+			for i := 0; i < w.Rows; i++ {
+				if a := math.Abs(w.Data[i*w.Cols+j]); a > maxAbs {
+					maxAbs = a
+				}
 			}
-			if qv < -(levels - 1) {
-				qv = -(levels - 1)
+			if maxAbs == 0 {
+				continue
 			}
-			p.W.Data[i] = qv * scale
+			scale := maxAbs / maxCode
+			for i := 0; i < w.Rows; i++ {
+				qv := math.Round(w.Data[i*w.Cols+j] / scale)
+				if qv > maxCode {
+					qv = maxCode
+				}
+				if qv < -maxCode {
+					qv = -maxCode
+				}
+				w.Data[i*w.Cols+j] = qv * scale
+			}
 		}
 	}
 	return q, nil
 }
 
-// QuantizedSizeBytes estimates the serialized size of the network at the
-// given weight bit width (BN statistics stay at 8 bytes).
+// QuantizedSizeBytes estimates the serialized size of the network at
+// the given weight bit width. Only Dense weight matrices shrink: their
+// codes pack at `bits` bits each plus one 8-byte scale per output
+// channel. Dense biases stay as float vectors, and batch-norm affine
+// parameters and running statistics stay at 8 bytes per scalar — the
+// layout Quantize/QuantizeInt8 actually produce.
 func QuantizedSizeBytes(net *Network, bits int) int {
-	weightBits := net.NumParams() * bits
-	statBytes := 0
-	for _, bn := range net.BatchNorms() {
-		statBytes += (len(bn.RunMean) + len(bn.RunVar)) * 8
+	weightBits, floatScalars := 0, 0
+	for _, l := range net.LayersList {
+		switch t := l.(type) {
+		case *Dense:
+			weightBits += len(t.w.W.Data) * bits
+			floatScalars += len(t.b.W.Data) // bias stays float
+			floatScalars += t.Out           // per-channel weight scales
+		case *BatchNorm:
+			floatScalars += len(t.Gamma()) + len(t.Beta()) + len(t.RunMean) + len(t.RunVar)
+		}
 	}
-	return (weightBits+7)/8 + statBytes
+	return (weightBits+7)/8 + floatScalars*8
 }

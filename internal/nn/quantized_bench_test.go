@@ -1,0 +1,53 @@
+package nn
+
+import (
+	"testing"
+
+	"nazar/internal/tensor"
+)
+
+// BenchmarkQuantizedServe pairs the int8 serving pass against the float
+// pass on a deployment-scale model: one hidden block at width 512, so
+// the single packed int8 panel (1 MiB) stays L2-resident across
+// inferences while the float panel (2 MiB) streams from L3 — the same
+// regime the tensor kernel pairs measure. (With several 512-wide
+// blocks the packed panels evict each other from L2 and both execution
+// modes go L3-bound, converging to the ~1.9x FP-port-bound ratio; the
+// residency win needs the working set to fit, which is exactly the
+// argument for quantizing on cache-starved mobile parts.) benchjson
+// pairs the variants into Speedups["QuantizedServe/one"]. Single-core,
+// as on a device.
+func BenchmarkQuantizedServe(b *testing.B) {
+	const inDim, width, classes = 512, 512, 16
+	net := quantTestNet(0xC0DE, 1, inDim, width, classes)
+	cal := randBatch(2, 64, inDim)
+	qn, err := QuantizeInt8(net, cal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, inDim)
+	for i := range x {
+		x[i] = 0.01 * float64(i%89)
+	}
+
+	b.Run("int8/one", func(b *testing.B) {
+		tensor.SetMaxWorkers(1)
+		defer tensor.SetMaxWorkers(0)
+		qn.LogitsOne(x)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qn.LogitsOne(x)
+		}
+	})
+	b.Run("float/one", func(b *testing.B) {
+		tensor.SetMaxWorkers(1)
+		defer tensor.SetMaxWorkers(0)
+		net.LogitsOne(x)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.LogitsOne(x)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"nazar/internal/tensor"
+)
+
+// quantErrorBound propagates the quantization rounding half-steps
+// analytically to the logits: the input-quantization and per-layer
+// requantization errors (half a code step each, in activation units)
+// travel through the downstream per-channel L1 operator gains, and each
+// layer adds its own weight-rounding term (half a weight step per
+// element at the calibrated input magnitude). Because every eval row is
+// inside the calibration batch, clamping beyond a rounding epsilon
+// cannot occur and this bound holds for arbitrary fuzzed networks.
+func quantErrorBound(t *testing.T, net *Network, qn *QuantizedNetwork) float64 {
+	blocks, err := quantBlocks(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := 0.5 * qn.Layers[0].InScale // input quantization rounding
+	for i, b := range blocks {
+		l := qn.Layers[i]
+		w := b.dense.w.W
+		maxActIn := 127 * l.InScale
+		var gain, wq float64
+		for j := 0; j < w.Cols; j++ {
+			gj := 1.0
+			if b.bn != nil {
+				gj = math.Abs(b.bn.Gamma()[j]) / math.Sqrt(b.bn.RunVar[j]+b.bn.Eps)
+			}
+			var colAbs float64
+			for r := 0; r < w.Rows; r++ {
+				colAbs += math.Abs(w.Data[r*w.Cols+j])
+			}
+			gain = math.Max(gain, gj*colAbs)
+			wq = math.Max(wq, gj*0.5*l.W.Scales[j]*float64(w.Rows))
+		}
+		e = e*gain + maxActIn*wq
+		if !l.Final {
+			e += 0.5 * l.OutScale // requantization rounding
+		}
+	}
+	return e
+}
+
+// FuzzQuantizedForward drives the quantized model pass over randomized
+// architectures, weights, BN states, and inputs, and pins two
+// invariants:
+//
+//  1. the packed int8 path is bit-identical to the naive reference
+//     kernel walk (logits and saturation counts), and
+//  2. the int8 logits stay within calibrated tolerance of the float
+//     network — the eval rows are folded into the calibration batch, so
+//     every activation is covered by the calibrated range and the
+//     remaining error is pure 8-bit rounding.
+func FuzzQuantizedForward(f *testing.F) {
+	f.Add(uint64(1), byte(0), byte(15), byte(7), byte(3), byte(0))
+	f.Add(uint64(42), byte(1), byte(31), byte(15), byte(0), byte(4))
+	f.Add(uint64(7777), byte(2), byte(47), byte(0), byte(9), byte(8))
+	f.Add(uint64(0xDEAD), byte(2), byte(7), byte(31), byte(5), byte(2))
+	f.Fuzz(func(t *testing.T, seed uint64, blocksB, widthB, inB, classesB, batchB byte) {
+		blocks := 1 + int(blocksB)%3
+		width := 1 + int(widthB)%48
+		inDim := 1 + int(inB)%32
+		classes := 2 + int(classesB)%10
+		batch := 1 + int(batchB)%9
+
+		net := quantTestNet(seed, blocks, inDim, width, classes)
+		x := randBatch(seed+1, batch, inDim)
+
+		// Calibration batch = random rows plus the eval rows themselves:
+		// activation maxima over the calibration set then dominate the
+		// eval activations, so the int8 pass clamps only on rounding
+		// epsilons, never structurally.
+		cal := tensor.New(32+batch, inDim)
+		cal.RandNormal(tensor.NewRand(seed+2, 3), 0, 1)
+		copy(cal.Data[32*inDim:], x.Data)
+
+		qn, err := QuantizeInt8(net, cal)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		got := qn.Logits(x)
+		satGot := qn.Saturations()
+		want, satWant := qn.refLogits(x)
+		for i := range want.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+				t.Fatalf("packed logit %d diverges from reference: %v vs %v", i, got.Data[i], want.Data[i])
+			}
+		}
+		if satGot != satWant {
+			t.Fatalf("packed saturation count %d, reference %d", satGot, satWant)
+		}
+
+		fl := net.Logits(x)
+		tol := 2*quantErrorBound(t, net, qn) + 1e-9
+		for i := range fl.Data {
+			if math.Abs(fl.Data[i]-got.Data[i]) > tol {
+				t.Fatalf("logit %d outside calibrated tolerance %v: float %v int8 %v",
+					i, tol, fl.Data[i], got.Data[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package nn
+
+// raceEnabled reports whether the race detector is active. The
+// allocation guards skip under -race: sync.Pool (behind the tensor
+// workspace arena) intentionally drops items there, so steady-state
+// pooling cannot be observed.
+const raceEnabled = false

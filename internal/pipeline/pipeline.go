@@ -94,6 +94,18 @@ type Config struct {
 	// registered on it (expose it with obs.Registry.Handler or snapshot
 	// it with WritePrometheus after the run).
 	Observer *obs.Registry
+	// Quantized serves every on-device inference through the int8 fast
+	// path: each device quantizes the models its pool selects (weights
+	// to per-channel int8, BN folded into the requantization scales)
+	// and runs prediction, MSP scoring, and drift detection on the
+	// quantized logits. Activation calibration uses a slice of the
+	// clean training split.
+	Quantized bool
+	// QuantShadowEvery, in quantized mode, makes every device also run
+	// the float model on every Nth inference and count drift-verdict
+	// disagreements (surfaced as nazar_quant_shadow_total on the
+	// Observer). 0 disables shadowing.
+	QuantShadowEvery int
 	// RetireAfter evicts a device's version when its cause has been
 	// absent from the last N analyses (0 — the default — disables
 	// retirement). Enable it when early windows can diagnose confounded
@@ -225,6 +237,17 @@ func Run(ds *dataset.Dataset, base *nn.Network, cfg Config) (*Result, error) {
 		fleetMetrics = device.NewMetrics(cfg.Observer)
 	}
 	svc := cloud.NewService(base, cfg.Cloud, svcOpts...)
+
+	// Quantized mode calibrates activation scales on a slice of the
+	// clean training split — the same data every device's base model was
+	// trained on, so the fleet shares one calibration batch.
+	var calX *tensor.Matrix
+	if cfg.Quantized {
+		rows := min(128, ds.Train.X.Rows)
+		calX = tensor.New(rows, ds.Train.X.Cols)
+		copy(calX.Data, ds.Train.X.Data[:rows*ds.Train.X.Cols])
+	}
+
 	devices := map[string]*device.Device{}
 	getDevice := func(id, location string) *device.Device {
 		if d, ok := devices[id]; ok {
@@ -237,6 +260,9 @@ func Run(ds *dataset.Dataset, base *nn.Network, cfg Config) (*Result, error) {
 			SampleRate:   cfg.SampleRate,
 			Detector:     detect.Threshold{Scorer: detect.MSP{}, T: cfg.DetectorThreshold},
 			Metrics:      fleetMetrics,
+			Quantized:    cfg.Quantized,
+			Calibration:  calX,
+			ShadowEvery:  cfg.QuantShadowEvery,
 			Rng:          tensor.NewRand(cfg.Seed^hashString(id), 0xD),
 		}, base)
 		devices[id] = d

@@ -1,0 +1,123 @@
+package pipeline
+
+import (
+	"bufio"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nazar/internal/dataset"
+	"nazar/internal/nn"
+	"nazar/internal/obs"
+	"nazar/internal/tensor"
+)
+
+// TestQuantizedRunDeterministicAcrossPoolWidths extends the pool-width
+// reproducibility contract to int8 serving: a fully quantized fleet run
+// must produce identical WindowStats at one worker and at full width —
+// the int8 kernels keep the same bit-determinism the float kernels have.
+func TestQuantizedRunDeterministicAcrossPoolWidths(t *testing.T) {
+	ds := dataset.NewCityscapes(dataset.CityscapesConfig{Total: 1200, Devices: 2, Seed: 42})
+	base := TrainBase(ds, nn.ArchResNet18, 8, 42)
+
+	runAt := func(workers int) *Result {
+		t.Helper()
+		tensor.SetMaxWorkers(workers)
+		defer tensor.SetMaxWorkers(0)
+		cfg := DefaultConfig(Nazar, 42)
+		cfg.Windows = 3
+		cfg.Quantized = true
+		res, err := Run(ds, base, cfg)
+		if err != nil {
+			t.Fatalf("quantized run at %d workers: %v", workers, err)
+		}
+		return res
+	}
+
+	seq := runAt(1)
+	par := runAt(8)
+
+	if len(seq.Windows) != len(par.Windows) {
+		t.Fatalf("window counts diverge: %d vs %d", len(seq.Windows), len(par.Windows))
+	}
+	for i := range seq.Windows {
+		a, b := seq.Windows[i], par.Windows[i]
+		a.RCADuration, b.RCADuration = 0, 0
+		a.AdaptDuration, b.AdaptDuration = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("window %d diverges across pool widths:\n  1 worker: %+v\n  8 workers: %+v", i, a, b)
+		}
+	}
+}
+
+// quantShadowCounts reads the float-shadow comparison counters from the
+// run's exposition.
+func quantShadowCounts(t *testing.T, reg *obs.Registry) (agree, disagree float64) {
+	t.Helper()
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		for prefix, dst := range map[string]*float64{
+			`nazar_quant_shadow_total{verdict="agree"} `:    &agree,
+			`nazar_quant_shadow_total{verdict="disagree"} `: &disagree,
+		} {
+			if v, ok := strings.CutPrefix(line, prefix); ok {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					t.Fatalf("bad sample %q: %v", line, err)
+				}
+				*dst = f
+			}
+		}
+	}
+	return agree, disagree
+}
+
+// TestQuantizedDriftVerdictDisagreementBounded is the randomized
+// differential check of the tentpole: with every inference shadowed by
+// the float model, the quantized and float drift verdicts must agree on
+// all but a small fraction of a drifting workload (disagreements come
+// only from inputs whose MSP sits within 8-bit rounding of the
+// threshold), and the disagreement count must be identical at pool
+// widths 1 and 8.
+func TestQuantizedDriftVerdictDisagreementBounded(t *testing.T) {
+	ds := dataset.NewCityscapes(dataset.CityscapesConfig{Total: 1200, Devices: 2, Seed: 99})
+	base := TrainBase(ds, nn.ArchResNet18, 8, 99)
+
+	runAt := func(workers int) (agree, disagree float64) {
+		t.Helper()
+		tensor.SetMaxWorkers(workers)
+		defer tensor.SetMaxWorkers(0)
+		reg := obs.NewRegistry()
+		cfg := DefaultConfig(Nazar, 99)
+		cfg.Windows = 3
+		cfg.Quantized = true
+		cfg.QuantShadowEvery = 1
+		cfg.Observer = reg
+		if _, err := Run(ds, base, cfg); err != nil {
+			t.Fatalf("shadowed run at %d workers: %v", workers, err)
+		}
+		return quantShadowCounts(t, reg)
+	}
+
+	agree1, disagree1 := runAt(1)
+	agree8, disagree8 := runAt(8)
+
+	total := agree1 + disagree1
+	if total == 0 {
+		t.Fatal("no shadow comparisons recorded")
+	}
+	if rate := disagree1 / total; rate > 0.02 {
+		t.Fatalf("quantized-vs-float drift verdicts disagree on %.2f%% of %v inferences, want <= 2%%",
+			100*rate, total)
+	}
+	if agree1 != agree8 || disagree1 != disagree8 {
+		t.Fatalf("disagreement counts vary with pool width: width 1 (%v, %v) vs width 8 (%v, %v)",
+			agree1, disagree1, agree8, disagree8)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package tensor
+
+// raceEnabled reports a -race build: sync.Pool drops Puts at random
+// under the race detector, so pool-dependent allocation guards skip.
+const raceEnabled = false

@@ -122,6 +122,52 @@ func PutMatrix(m *Matrix) {
 	matPools[b].Put(m)
 }
 
+// I8Workspace is the int8 kernels' scratch bundle: the float64 widening
+// and lane-accumulator rows plus the int32 accumulator row one
+// activation row needs. Pooling the bundle as a single pointer keeps
+// kernel calls allocation-free in steady state (sync.Pool of slice
+// values would box a header per Put); acquisitions are counted in the
+// same arena stats as GetMatrix.
+type I8Workspace struct {
+	f   []float64 // widening + lanes, grown to k+np
+	acc []int32   // int32 accumulator row, grown to n
+}
+
+var i8WorkspacePool sync.Pool
+
+// GetI8Workspace returns a scratch bundle whose float buffer holds at
+// least nf float64s and whose accumulator holds at least nacc int32s.
+// Return it with PutI8Workspace. Safe for concurrent use; contents are
+// unspecified (kernels overwrite before reading).
+func GetI8Workspace(nf, nacc int) *I8Workspace {
+	wsGets.Add(1)
+	w, _ := i8WorkspacePool.Get().(*I8Workspace)
+	if w == nil {
+		w = &I8Workspace{}
+	} else {
+		wsHits.Add(1)
+	}
+	if cap(w.f) < nf {
+		_, c := sizeClass(nf)
+		w.f = make([]float64, c)
+	}
+	if cap(w.acc) < nacc {
+		_, c := sizeClass(nacc)
+		w.acc = make([]int32, c)
+	}
+	return w
+}
+
+// PutI8Workspace returns w to the arena. w must not be used afterwards;
+// nil is a no-op.
+func PutI8Workspace(w *I8Workspace) {
+	if w == nil {
+		return
+	}
+	wsPuts.Add(1)
+	i8WorkspacePool.Put(w)
+}
+
 // Workspace is a convenience handle over the arena that remembers what
 // it lent out so one Release call returns everything — the pattern for
 // functions that need several scratch matrices with a common lifetime.
