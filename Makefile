@@ -10,11 +10,11 @@ GO ?= go
 # their shared support caches, and the WAL — concurrent appends,
 # background compaction, and the crash matrix all live under
 # internal/driftlog, with the service-level wiring under internal/cloud).
-RACE_PKGS = ./internal/cloud/... ./internal/driftlog/... ./internal/fim/... ./internal/rca/... ./internal/httpapi/... ./internal/tensor/... ./internal/transport/... ./internal/faultinject/... ./internal/wire/...
+RACE_PKGS = ./internal/cloud/... ./internal/driftlog/... ./internal/fim/... ./internal/rca/... ./internal/httpapi/... ./internal/tensor/... ./internal/transport/... ./internal/faultinject/... ./internal/wire/... ./internal/macrosim/...
 
-.PHONY: ci vet staticcheck build test race race-chaos chaos fuzz fuzz-smoke bench bench-kernels bench-analysis bench-wal bench-wire bench-smoke clean
+.PHONY: ci vet staticcheck build test race race-chaos chaos macrosim-smoke fuzz fuzz-smoke bench bench-kernels bench-analysis bench-wal bench-wire bench-macrosim bench-smoke clean
 
-ci: vet staticcheck build test race race-chaos
+ci: vet staticcheck build test race race-chaos macrosim-smoke
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,12 @@ race-chaos:
 chaos:
 	$(GO) run ./cmd/nazar-sim -chaos -chaos-rates 0,0.1,0.3
 
+# Macro-scale fleet simulator smoke: 10k devices through the checked-in
+# smoke scenario (diurnal traffic, churn, a staged rollout) on 4
+# workers. Completes in seconds; CI runs it as part of `make ci`.
+macrosim-smoke:
+	$(GO) run ./cmd/nazar-sim -scenario internal/macrosim/testdata/scenarios/smoke.json -workers 4
+
 # Short coverage-guided fuzz pass over the HTTP decode surface (the
 # checked-in seed corpus always runs as part of `make test`).
 fuzz:
@@ -71,6 +77,7 @@ fuzz-smoke:
 	$(GO) test ./internal/faultinject/ -run '^$$' -fuzz FuzzParseSchedule -fuzztime 30s
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzWireDecode -fuzztime 30s
 	$(GO) test ./internal/nn/ -run '^$$' -fuzz FuzzQuantizedForward -fuzztime 30s
+	$(GO) test ./internal/macrosim/ -run '^$$' -fuzz FuzzParseScenario -fuzztime 30s
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkRunWindow$$' -benchtime 2s .
@@ -119,6 +126,16 @@ bench-wire:
 	$(GO) run ./cmd/benchjson < bench-wire.out > BENCH_wire.json
 	@rm -f bench-wire.out
 	@echo "wrote BENCH_wire.json"
+
+# Macro-simulator throughput: 100k- and 1M-device windows, serial and
+# parallel, reporting devices/s. Results land in BENCH_macrosim.json so
+# simulator throughput is tracked across PRs like the kernel numbers.
+bench-macrosim:
+	$(GO) test -run '^$$' -bench 'BenchmarkMacrosim' -benchmem -count 3 \
+		./internal/macrosim/ | tee bench-macrosim.out
+	$(GO) run ./cmd/benchjson < bench-macrosim.out > BENCH_macrosim.json
+	@rm -f bench-macrosim.out
+	@echo "wrote BENCH_macrosim.json"
 
 # One-iteration pass over every benchmark in the repo — the CI smoke
 # check that none of them rotted.

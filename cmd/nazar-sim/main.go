@@ -21,9 +21,19 @@
 // cloud) and emits one JSON result line per fault rate:
 //
 //	nazar-sim -chaos [-chaos-rates 0,0.1,0.3] [-chaos-schedule latency=0.1:5ms,...] [-seed 42]
+//
+// Scenario mode runs the macro-scale fleet simulator on a declarative
+// scenario pack (100k–1M lightweight devices; diurnal traffic, churn,
+// drift events and an optional staged rollout), printing the per-window
+// fleet table and the control plane's decisions:
+//
+//	nazar-sim -scenario internal/macrosim/testdata/scenarios/smoke.json
+//	          [-workers 8] [-rollout candidate=v2,delta=-0.1,steps=1:5:25,guard=0.03,min=100]
+//	          [-sim-out summary.json]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,10 +41,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"nazar/internal/dataset"
 	"nazar/internal/faultinject"
 	"nazar/internal/imagesim"
+	"nazar/internal/macrosim"
 	"nazar/internal/nn"
 	"nazar/internal/obs"
 	"nazar/internal/pipeline"
@@ -60,8 +72,20 @@ func main() {
 		chaosDevices  = flag.Int("chaos-devices", 3, "chaos fleet size")
 		chaosPerDev   = flag.Int("chaos-per-device", 40, "chaos inferences per device")
 		chaosCodec    = flag.String("chaos-codec", "json", "chaos ingest codec: json or binary")
+
+		scenario    = flag.String("scenario", "", "run the macro-scale fleet simulator on this scenario pack (JSON)")
+		rolloutSpec = flag.String("rollout", "", "with -scenario, override the pack's staged rollout (candidate=v2,delta=-0.1,steps=1:5:25,guard=0.03,min=100[,ceiling=50][,drift-guard=0.1][,start=1])")
+		workers     = flag.Int("workers", 0, "with -scenario, worker-pool width (0 = GOMAXPROCS; never changes results)")
+		simOut      = flag.String("sim-out", "", "with -scenario, write the deterministic summary JSON here")
 	)
 	flag.Parse()
+
+	if *scenario != "" {
+		if err := runScenario(*scenario, *rolloutSpec, *workers, *simOut); err != nil {
+			log.Fatalf("nazar-sim: %v", err)
+		}
+		return
+	}
 
 	if *chaos {
 		if err := runChaos(*chaosRates, *chaosSchedule, *chaosDevices, *chaosPerDev, *seed, *chaosCodec); err != nil {
@@ -133,6 +157,80 @@ func main() {
 			}
 		}
 	}
+}
+
+// runScenario drives the macro-scale fleet simulator: load (and
+// optionally override) the scenario pack, run it, and print the
+// per-window fleet table, the rollout's decision trail and the
+// devices/sec throughput. The summary written by -sim-out is
+// byte-deterministic for a given pack — diffing two runs is a
+// reproducibility check.
+func runScenario(path, rolloutSpec string, workers int, outPath string) error {
+	sc, err := macrosim.LoadScenario(path)
+	if err != nil {
+		return err
+	}
+	if rolloutSpec != "" {
+		ro, err := macrosim.ParseRolloutSpec(rolloutSpec)
+		if err != nil {
+			return err
+		}
+		sc.Rollout = ro
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+	}
+	reg := obs.NewRegistry()
+	opts := []macrosim.Option{macrosim.WithObserver(reg)}
+	if workers > 0 {
+		opts = append(opts, macrosim.WithWorkers(workers))
+	}
+	eng, err := macrosim.New(sc, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario=%s seed=%d devices=%d windows=%d ticks/window=%d cohorts=%d\n",
+		sc.Name, sc.Seed, sc.Devices, sc.Windows, sc.TicksPerWindow, len(sc.Cohorts))
+	start := time.Now()
+	sum, err := eng.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Println("win   emitted  delivered    late  dropped  offline     acc   drift  rollout")
+	for _, w := range sum.Windows {
+		ro := "-"
+		if w.Rollout != nil {
+			ro = fmt.Sprintf("%g%%→%g%% %s", w.Rollout.PercentBefore, w.Rollout.PercentAfter, w.Rollout.Decision)
+		}
+		fmt.Printf("%3d  %8d  %9d  %6d  %7d  %7d  %5.1f%%  %5.2f%%  %s\n",
+			w.Window, w.Emitted, w.Delivered, w.DeliveredLate, w.SpoolDropped,
+			w.OfflineDevices, 100*w.Accuracy, 100*w.DriftRate, ro)
+	}
+	fmt.Printf("\ntotals: emitted=%d delivered=%d late=%d dropped=%d accuracy=%.1f%% drift=%.2f%%\n",
+		sum.Totals.Emitted, sum.Totals.Delivered, sum.Totals.DeliveredLate,
+		sum.Totals.SpoolDropped, 100*sum.Totals.Accuracy, 100*sum.Totals.DriftRate)
+	if sum.Rollout != nil {
+		fmt.Printf("rollout %s: state=%s final=%g%% max=%g%% rollback_window=%d decisions=%v\n",
+			sum.Rollout.Candidate, sum.Rollout.FinalState, sum.Rollout.FinalPercent,
+			sum.Rollout.MaxPercent, sum.Rollout.RollbackWindow, sum.Rollout.Decisions)
+	}
+	deviceWindows := float64(sc.Devices) * float64(sc.Windows)
+	fmt.Printf("simulated %d devices x %d windows in %v (%.0f devices/s)\n",
+		sc.Devices, sc.Windows, elapsed.Round(time.Millisecond), deviceWindows/elapsed.Seconds())
+
+	if outPath != "" {
+		b, err := sum.MarshalStable()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("summary written to %s\n", outPath)
+	}
+	return nil
 }
 
 // runChaos executes the chaos harness at each requested fault rate and

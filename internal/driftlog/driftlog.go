@@ -366,6 +366,22 @@ func (s *Store) orderedRows() []rowRef {
 	return refs
 }
 
+// Each invokes f on every current row in canonical (ingest-sequence)
+// order. The global ordering is computed once for the whole pass, so a
+// full-store sweep is O(n log n) — repeated Entry(i) calls re-derive
+// the ordering per call and degrade to O(n² log n) on large logs (the
+// chaos harnesses audit six-figure row counts).
+func (s *Store) Each(f func(i int, e Entry)) {
+	refs := s.orderedRows()
+	for i, ref := range refs {
+		sh := &s.shards[ref.shard]
+		sh.mu.RLock()
+		e := sh.entryLocked(ref.row)
+		sh.mu.RUnlock()
+		f(i, e)
+	}
+}
+
 // Entry reconstructs the i-th row in canonical (ingest-sequence) order —
 // for display, debugging and persistence tests.
 func (s *Store) Entry(i int) Entry {

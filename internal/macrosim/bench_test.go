@@ -1,0 +1,56 @@
+package macrosim
+
+import (
+	"context"
+	"testing"
+)
+
+// benchScenario is a million-device-class window: the benchmark reports
+// devices/s so BENCH_macrosim.json tracks simulator throughput across
+// PRs.
+func benchScenario(devices int) *Scenario {
+	sc := &Scenario{
+		Name:           "bench",
+		Seed:           5,
+		Devices:        devices,
+		Windows:        1,
+		TicksPerWindow: 8,
+		Cohorts: []CohortSpec{
+			{Name: "flagship", Weight: 0.2, Hardware: "flagship", BaseAccuracy: 0.94, FalsePositiveRate: 0.02},
+			{Name: "mid", Weight: 0.5, Hardware: "mid", BaseAccuracy: 0.9, FalsePositiveRate: 0.03},
+			{Name: "budget", Weight: 0.3, Hardware: "budget", BaseAccuracy: 0.85, FalsePositiveRate: 0.05},
+		},
+		Diurnal: DiurnalSpec{BaseRate: 0.5, Amplitude: 0.6, PeakTick: 4},
+		Churn:   ChurnSpec{Rate: 0.1},
+		Rollout: &RolloutSpec{
+			Candidate: "v2", Steps: []float64{1, 5, 25, 100},
+			Guard: 0.03, MinSamples: 100,
+		},
+	}
+	sc.applyDefaults()
+	return sc
+}
+
+func benchmarkFleet(b *testing.B, devices, workers int) {
+	sc := benchScenario(devices)
+	eng, err := New(sc, WithWorkers(workers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	if perOp > 0 {
+		b.ReportMetric(float64(devices)/perOp, "devices/s")
+	}
+}
+
+func BenchmarkMacrosim100k(b *testing.B)   { benchmarkFleet(b, 100_000, 0) }
+func BenchmarkMacrosim1M(b *testing.B)     { benchmarkFleet(b, 1_000_000, 0) }
+func BenchmarkMacrosimSerial(b *testing.B) { benchmarkFleet(b, 100_000, 1) }

@@ -1,0 +1,57 @@
+package macrosim
+
+import "math"
+
+// Rate returns the fleet-wide per-device emission probability at the
+// given global tick (window·ticksPerWindow + tick), before hardware
+// scaling: a cosine day curve peaking at PeakTick with swing
+// Amplitude·BaseRate around BaseRate. Zero amplitude is a flat line at
+// BaseRate — the degenerate case the table tests pin.
+func (d DiurnalSpec) Rate(globalTick int) float64 {
+	r := d.BaseRate
+	if d.Amplitude != 0 && d.Period > 0 {
+		phase := 2 * math.Pi * float64(globalTick-d.PeakTick) / float64(d.Period)
+		r *= 1 + d.Amplitude*math.Cos(phase)
+	}
+	return clamp01(r)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// offlineTicks returns how many leading ticks of window w the device
+// spends offline: 0 when the churn draw keeps it online, the configured
+// OfflineTicks when it goes dark mid-window, or the whole window when
+// OfflineTicks is 0 (classic "device left; spool drains after it
+// rejoins next window"). The draw is per (device, window), so churn is
+// memoryless across windows — a rejoining device drains its spool at
+// its first online tick.
+func offlineTicks(sc *Scenario, dev uint64, w int) int {
+	if sc.Churn.Rate <= 0 {
+		return 0
+	}
+	if unitFloat(hash4(sc.Seed, dev, w, 0, streamChurn)) >= sc.Churn.Rate {
+		return 0
+	}
+	if sc.Churn.OfflineTicks == 0 {
+		return sc.TicksPerWindow
+	}
+	return sc.Churn.OfflineTicks
+}
+
+// joinWindow returns the window at which a device first appears when
+// the scenario staggers fleet join; 0 means present from the start.
+func joinWindow(sc *Scenario, dev uint64) int {
+	if sc.Churn.JoinWindows <= 0 {
+		return 0
+	}
+	u := unitFloat(hash2(sc.Seed, dev, streamJoin))
+	return int(u * float64(sc.Churn.JoinWindows))
+}

@@ -1,0 +1,84 @@
+package macrosim
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden summaries. Run it whenever a
+// deliberate engine change shifts the expected numbers:
+//
+//	go test ./internal/macrosim/ -run TestScenarioGoldens -update
+var updateGoldens = flag.Bool("update", false, "rewrite golden scenario summaries")
+
+// TestScenarioGoldens replays every checked-in scenario pack and
+// requires a byte-identical summary: the regression net for everything
+// downstream of the seed — hashing, sharding, churn, diurnal shaping,
+// drift events and rollout decisions. A diff here means simulated fleet
+// behaviour changed, deliberately or not.
+func TestScenarioGoldens(t *testing.T) {
+	packs, err := filepath.Glob(filepath.Join("testdata", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packs) == 0 {
+		t.Fatal("no scenario packs in testdata/scenarios")
+	}
+	for _, pack := range packs {
+		name := strings.TrimSuffix(filepath.Base(pack), ".json")
+		t.Run(name, func(t *testing.T) {
+			sc, err := LoadScenario(pack)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := New(sc, WithWorkers(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum, err := eng.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sum.MarshalStable()
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenPath := filepath.Join("testdata", "golden", name+".golden.json")
+			if *updateGoldens {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("summary diverged from %s\ngot:\n%s", goldenPath, diffHint(got, want))
+			}
+		})
+	}
+}
+
+// diffHint points at the first differing line so a golden failure is
+// readable without an external diff tool.
+func diffHint(got, want []byte) string {
+	g := strings.Split(string(got), "\n")
+	w := strings.Split(string(want), "\n")
+	for i := 0; i < len(g) && i < len(w); i++ {
+		if g[i] != w[i] {
+			return "line " + strconv.Itoa(i+1) + ": got " + g[i] + " want " + w[i]
+		}
+	}
+	return "lengths differ: got " + string(got)[:min(200, len(got))]
+}

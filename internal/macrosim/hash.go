@@ -1,0 +1,51 @@
+package macrosim
+
+// Counter-based randomness: every stochastic draw in the simulator is a
+// pure hash of (scenario seed, device index, window, tick, stream).
+// Nothing is sequential, so any worker can evaluate any device at any
+// time and the draw is the same — the property that makes summaries
+// byte-identical across pool widths and lets shards run in parallel
+// without a shared RNG lock.
+
+// Stream IDs keep independent decision kinds decorrelated: the same
+// (device, window, tick) must not reuse one draw for "did it emit" and
+// "was it correct".
+const (
+	streamEmit uint64 = iota + 1
+	streamCorrect
+	streamDrift
+	streamChurn
+	streamCohort
+	streamJoin
+	streamEventBase uint64 = 0x100 // + event index
+)
+
+const golden64 = 0x9e3779b97f4a7c15
+
+// mix64 is the splitmix64 finalizer — a full-avalanche bijection.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// hash2 draws for per-device static decisions (cohort, join, event
+// membership): no window/tick component.
+func hash2(seed, dev, stream uint64) uint64 {
+	return mix64(mix64(seed^dev*golden64) ^ stream*golden64)
+}
+
+// hash4 draws for per-tick decisions.
+func hash4(seed, dev uint64, w, t int, stream uint64) uint64 {
+	h := mix64(seed ^ dev*golden64)
+	h = mix64(h ^ (uint64(w)<<32|uint64(uint32(t)))*golden64)
+	return mix64(h ^ stream*golden64)
+}
+
+// unitFloat maps a hash to [0,1) with 53 bits of mantissa.
+func unitFloat(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}

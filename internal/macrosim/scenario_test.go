@@ -1,0 +1,161 @@
+package macrosim
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validScenarioJSON() string {
+	return `{
+	  "name": "t",
+	  "seed": 1,
+	  "devices": 100,
+	  "windows": 2,
+	  "ticks_per_window": 4,
+	  "cohorts": [
+	    {"name": "mid", "weight": 1, "hardware": "mid", "base_accuracy": 0.9, "false_positive_rate": 0.03}
+	  ],
+	  "diurnal": {"base_rate": 0.5, "amplitude": 0.2},
+	  "churn": {"rate": 0.1}
+	}`
+}
+
+func TestParseScenarioValid(t *testing.T) {
+	sc, err := ParseScenario([]byte(validScenarioJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Churn.SpoolCap != 64 {
+		t.Errorf("spool cap default = %d, want 64", sc.Churn.SpoolCap)
+	}
+	if sc.Diurnal.Period != 4 {
+		t.Errorf("diurnal period default = %d, want ticks_per_window", sc.Diurnal.Period)
+	}
+}
+
+// TestParseScenarioRejects drives the typed-error contract: corrupt or
+// out-of-range packs fail with a *ScenarioError, never a panic or a
+// silently defaulted value.
+func TestParseScenarioRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"unknown field", `{"name":"t","bogus":1}`},
+		{"trailing data", validScenarioJSON() + `{"again":true}`},
+		{"not json", `windows: 3`},
+		{"zero devices", `{"name":"t","devices":0,"windows":1,"ticks_per_window":1,"cohorts":[{"name":"m","weight":1,"hardware":"mid","base_accuracy":0.9,"false_positive_rate":0}]}`},
+		{"too many devices", `{"name":"t","devices":99000000,"windows":1,"ticks_per_window":1,"cohorts":[{"name":"m","weight":1,"hardware":"mid","base_accuracy":0.9,"false_positive_rate":0}]}`},
+		{"no cohorts", `{"name":"t","devices":10,"windows":1,"ticks_per_window":1}`},
+		{"unknown hardware", `{"name":"t","devices":10,"windows":1,"ticks_per_window":1,"cohorts":[{"name":"m","weight":1,"hardware":"quantum","base_accuracy":0.9,"false_positive_rate":0}]}`},
+		{"duplicate cohort", `{"name":"t","devices":10,"windows":1,"ticks_per_window":1,"cohorts":[{"name":"m","weight":1,"hardware":"mid","base_accuracy":0.9,"false_positive_rate":0},{"name":"m","weight":1,"hardware":"mid","base_accuracy":0.9,"false_positive_rate":0}]}`},
+		{"unknown corruption", `{"name":"t","devices":10,"windows":2,"ticks_per_window":1,"cohorts":[{"name":"m","weight":1,"hardware":"mid","base_accuracy":0.9,"false_positive_rate":0}],"drift":[{"corruption":"locusts","from_window":0,"to_window":1,"fraction":0.5,"accuracy_drop":0.1,"detect_rate":0.5}]}`},
+		{"event window out of range", `{"name":"t","devices":10,"windows":2,"ticks_per_window":1,"cohorts":[{"name":"m","weight":1,"hardware":"mid","base_accuracy":0.9,"false_positive_rate":0}],"drift":[{"corruption":"snow","from_window":0,"to_window":5,"fraction":0.5,"accuracy_drop":0.1,"detect_rate":0.5}]}`},
+		{"rollout descending steps", `{"name":"t","devices":10,"windows":2,"ticks_per_window":1,"cohorts":[{"name":"m","weight":1,"hardware":"mid","base_accuracy":0.9,"false_positive_rate":0}],"rollout":{"candidate":"v2","steps":[5,1],"guard":0.01,"min_samples":1}}`},
+		{"rollout ceiling below canary", `{"name":"t","devices":10,"windows":2,"ticks_per_window":1,"cohorts":[{"name":"m","weight":1,"hardware":"mid","base_accuracy":0.9,"false_positive_rate":0}],"rollout":{"candidate":"v2","steps":[5,25],"ceiling":1,"guard":0.01,"min_samples":1}}`},
+		{"churn rate over 1", `{"name":"t","devices":10,"windows":1,"ticks_per_window":1,"cohorts":[{"name":"m","weight":1,"hardware":"mid","base_accuracy":0.9,"false_positive_rate":0}],"churn":{"rate":1.5}}`},
+	}
+	for _, tc := range cases {
+		_, err := ParseScenario([]byte(tc.json))
+		if err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+			continue
+		}
+		var se *ScenarioError
+		if !errors.As(err, &se) {
+			t.Errorf("%s: error %T is not *ScenarioError: %v", tc.name, err, err)
+		}
+	}
+}
+
+func TestLoadScenarioAnnotatesPath(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"name":"t","nope":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadScenario(path)
+	var se *ScenarioError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T is not *ScenarioError: %v", err, err)
+	}
+	if se.Path != path {
+		t.Errorf("error path %q, want %q", se.Path, path)
+	}
+	if _, err := LoadScenario(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+}
+
+func TestParseRolloutSpec(t *testing.T) {
+	ro, err := ParseRolloutSpec("candidate=v3,delta=-0.05,steps=1:5:25:100,guard=0.02,drift-guard=0.1,min=200,ceiling=50,start=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.Candidate != "v3" || ro.AccuracyDelta != -0.05 || len(ro.Steps) != 4 ||
+		ro.Guard != 0.02 || ro.DriftGuard != 0.1 || ro.MinSamples != 200 ||
+		ro.Ceiling != 50 || ro.StartWindow != 1 {
+		t.Fatalf("parsed %+v", ro)
+	}
+	for _, bad := range []string{
+		"",                      // no candidate
+		"candidate=v2",          // no steps
+		"steps=1:5",             // no candidate
+		"candidate=v2,steps=x",  // bad step
+		"candidate=v2,bogus=1",  // unknown key
+		"candidate=v2,steps",    // not key=value
+		"candidate=v2,min=nope", // bad int
+	} {
+		if _, err := ParseRolloutSpec(bad); err == nil {
+			t.Errorf("ParseRolloutSpec(%q): want error", bad)
+		}
+	}
+}
+
+// FuzzParseScenario hammers the pack parser: any input must either
+// return a valid scenario or a typed error — no panics, no scenario
+// violating the documented caps.
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(validScenarioJSON()))
+	f.Add([]byte(`{"name":"t","bogus":1}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(validScenarioJSON() + "garbage"))
+	packs, err := filepath.Glob(filepath.Join("testdata", "scenarios", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range packs {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(data)
+		if err != nil {
+			var se *ScenarioError
+			if !errors.As(err, &se) {
+				t.Fatalf("error %T is not *ScenarioError: %v", err, err)
+			}
+			if se.Error() == "" || !strings.Contains(se.Error(), "scenario") {
+				t.Fatalf("unhelpful error string %q", se.Error())
+			}
+			return
+		}
+		// A scenario that parsed must be safe to simulate.
+		if sc.Devices < 1 || sc.Devices > MaxDevices ||
+			sc.Windows < 1 || sc.Windows > MaxWindows ||
+			sc.TicksPerWindow < 1 || sc.TicksPerWindow > MaxTicksPerWindow {
+			t.Fatalf("validated scenario out of caps: %+v", sc)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("parsed scenario fails re-validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package macrosim
+
+import (
+	"encoding/json"
+	"math"
+
+	"nazar/internal/cloud"
+)
+
+// Summary is the deterministic fleet-level result of a scenario run.
+// Field order, integer counts and 6-decimal float rounding are all part
+// of the golden-file contract: the same scenario and seed must marshal
+// to byte-identical JSON at any worker-pool width.
+type Summary struct {
+	Scenario string          `json:"scenario"`
+	Seed     uint64          `json:"seed"`
+	Devices  int             `json:"devices"`
+	Cohorts  []string        `json:"cohorts"`
+	Windows  []WindowSummary `json:"windows"`
+	Rollout  *RolloutSummary `json:"rollout,omitempty"`
+	Totals   Totals          `json:"totals"`
+}
+
+// WindowSummary aggregates one monitoring window across the fleet.
+type WindowSummary struct {
+	Window int `json:"window"`
+	// Emitted counts inferences the fleet produced; Delivered counts
+	// entries that reached the cloud this window (DeliveredLate of
+	// those were spooled offline in an earlier window and drained after
+	// the device rejoined).
+	Emitted        int64 `json:"emitted"`
+	Delivered      int64 `json:"delivered"`
+	DeliveredLate  int64 `json:"delivered_late"`
+	SpoolDropped   int64 `json:"spool_dropped"`
+	OfflineDevices int64 `json:"offline_devices"`
+	DriftFlagged   int64 `json:"drift_flagged"`
+	// Accuracy and DriftRate are over delivered entries only — the
+	// cloud can't score what never arrived.
+	Accuracy  float64 `json:"accuracy"`
+	DriftRate float64 `json:"drift_rate"`
+	// AvgUploadLatencyMS is the delivery-weighted mean of the hardware
+	// profiles' upload latencies.
+	AvgUploadLatencyMS float64        `json:"avg_upload_latency_ms"`
+	Cohorts            []CohortWindow `json:"cohorts"`
+	Rollout            *RolloutWindow `json:"rollout,omitempty"`
+}
+
+// CohortWindow is one cohort's slice of a window.
+type CohortWindow struct {
+	Name      string  `json:"name"`
+	Delivered int64   `json:"delivered"`
+	Accuracy  float64 `json:"accuracy"`
+	DriftRate float64 `json:"drift_rate"`
+}
+
+// RolloutWindow records what the control plane saw and decided.
+type RolloutWindow struct {
+	PercentBefore   float64 `json:"percent_before"`
+	PercentAfter    float64 `json:"percent_after"`
+	CanaryDelivered int64   `json:"canary_delivered"`
+	CanaryAccuracy  float64 `json:"canary_accuracy"`
+	ControlAccuracy float64 `json:"control_accuracy"`
+	Decision        string  `json:"decision"`
+	State           string  `json:"state"`
+}
+
+// RolloutSummary is the rollout's terminal story.
+type RolloutSummary struct {
+	Candidate      string   `json:"candidate"`
+	FinalState     string   `json:"final_state"`
+	FinalPercent   float64  `json:"final_percent"`
+	MaxPercent     float64  `json:"max_percent"`
+	RollbackWindow int      `json:"rollback_window"`
+	Decisions      []string `json:"decisions"`
+}
+
+// Totals aggregates the whole run.
+type Totals struct {
+	Emitted       int64   `json:"emitted"`
+	Delivered     int64   `json:"delivered"`
+	DeliveredLate int64   `json:"delivered_late"`
+	SpoolDropped  int64   `json:"spool_dropped"`
+	Accuracy      float64 `json:"accuracy"`
+	DriftRate     float64 `json:"drift_rate"`
+	SinkReported  int64   `json:"sink_reported,omitempty"`
+	SinkDropped   int64   `json:"sink_dropped,omitempty"`
+}
+
+// MarshalStable renders the golden-file form: indented JSON plus a
+// trailing newline.
+func (s *Summary) MarshalStable() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// round6 quantizes derived floats so a summary never depends on
+// accumulation order: every float in a Summary is a ratio of exact
+// integer counts, rounded once here.
+func round6(x float64) float64 {
+	return math.Round(x*1e6) / 1e6
+}
+
+// ratio is round6(num/den), 0 when den is 0.
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return round6(float64(num) / float64(den))
+}
+
+func rolloutSummaryOf(r *cloud.Rollout, maxPercent float64) *RolloutSummary {
+	st := r.Status()
+	decisions := make([]string, 0, len(st.Decisions))
+	for _, d := range st.Decisions {
+		decisions = append(decisions, string(d))
+	}
+	return &RolloutSummary{
+		Candidate:      st.Candidate,
+		FinalState:     string(st.State),
+		FinalPercent:   round6(r.Percent()),
+		MaxPercent:     round6(maxPercent),
+		RollbackWindow: st.RollbackWindow,
+		Decisions:      decisions,
+	}
+}

@@ -299,13 +299,12 @@ func RunChaos(cfg ChaosConfig) (*ChaosResult, error) {
 	res.SpoolDropped = int(st.SpoolDropped)
 	res.Retries = st.Retries
 	res.BreakerOpens = st.BreakerOpens
-	log := svc.Log()
 	present := map[string]int{}
-	for i := 0; i < log.Len(); i++ {
-		if s, ok := log.Entry(i).Attrs[chaosAttrSeq]; ok {
+	svc.Log().Each(func(_ int, e driftlog.Entry) {
+		if s, ok := e.Attrs[chaosAttrSeq]; ok {
 			present[s]++
 		}
-	}
+	})
 	res.Delivered = len(present)
 	for _, n := range present {
 		res.Duplicates += n - 1

@@ -1,0 +1,309 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"time"
+
+	"nazar/internal/cloud"
+	"nazar/internal/driftlog"
+	"nazar/internal/faultinject"
+	"nazar/internal/httpapi"
+	"nazar/internal/nn"
+	"nazar/internal/obs"
+	"nazar/internal/tensor"
+	"nazar/internal/transport"
+	"nazar/internal/weather"
+)
+
+// RolloutChaosConfig parameterizes the staged-rollout chaos harness: a
+// fleet streams scored inferences through a fault-injected wire while
+// the cloud.Rollout control plane ramps a candidate version; the
+// harness audits both the delivery invariant (lost_acked == 0) and the
+// control-plane invariant (a regressed candidate is rolled back before
+// the ramp exceeds its ceiling).
+type RolloutChaosConfig struct {
+	// FaultRate is the per-request fault probability on the wire.
+	FaultRate float64
+	// Devices is the fleet size (default 200 — large enough that even
+	// the first ramp step holds a statistically useful canary cohort).
+	Devices int
+	// PerDevice is entries per device per window (default 10).
+	PerDevice int
+	// Windows bounds the run (default 8).
+	Windows int
+	// Seed drives the fault injector, transport jitter and accuracy draws.
+	Seed uint64
+	// Plan is the rollout under test.
+	Plan cloud.RolloutPlan
+	// CanaryDelta is the candidate's true accuracy delta versus
+	// BaseAccuracy (negative = the regressed build the guards must catch).
+	CanaryDelta float64
+	// BaseAccuracy is the baseline version's accuracy (default 0.9).
+	BaseAccuracy float64
+	// Observe registers nazar_rollout_* metrics and scrapes GET /metrics
+	// through the faulty wire at the end of the run.
+	Observe bool
+}
+
+func (c RolloutChaosConfig) withDefaults() RolloutChaosConfig {
+	if c.Devices <= 0 {
+		c.Devices = 200
+	}
+	if c.PerDevice <= 0 {
+		c.PerDevice = 10
+	}
+	if c.Windows <= 0 {
+		c.Windows = 8
+	}
+	if c.BaseAccuracy == 0 {
+		c.BaseAccuracy = 0.9
+	}
+	return c
+}
+
+// RolloutChaosResult is the harness verdict.
+type RolloutChaosResult struct {
+	FaultRate  float64 `json:"fault_rate"`
+	Streamed   int     `json:"streamed"`
+	Acked      int     `json:"acked"`
+	Delivered  int     `json:"delivered"`
+	Duplicates int     `json:"duplicates"`
+	// LostAcked is the delivery invariant: always zero.
+	LostAcked int `json:"lost_acked"`
+	// MaxPercent is the widest the ramp ever got — the blast radius.
+	MaxPercent float64 `json:"max_percent"`
+	// FinalState and RollbackWindow are the control plane's verdict.
+	FinalState     string   `json:"final_state"`
+	FinalPercent   float64  `json:"final_percent"`
+	RollbackWindow int      `json:"rollback_window"`
+	Decisions      []string `json:"decisions"`
+	// RolloutMetrics holds the nazar_rollout_* exposition lines scraped
+	// over the faulty wire (Observe only).
+	RolloutMetrics []string `json:"rollout_metrics,omitempty"`
+}
+
+// Per-entry attributes the harness stamps so the cloud-side audit can
+// reconstruct cohort statistics from the drift log alone.
+const (
+	rolloutAttrWindow  = "rollout_window"
+	rolloutAttrCorrect = "rollout_ok"
+)
+
+// RunRolloutChaos ramps cfg.Plan's candidate over a fleet streaming
+// through fault-injected HTTP. Every window, each device asks the
+// control plane which version it serves (sticky assignment), streams
+// entries whose correctness reflects that version's true accuracy, and
+// the harness then scores the canary against the control cohort *from
+// the entries that reached the cloud log* — exactly the evidence a real
+// control plane would have — and feeds the verdict to Rollout.Observe.
+func RunRolloutChaos(cfg RolloutChaosConfig) (*RolloutChaosResult, error) {
+	cfg = cfg.withDefaults()
+	sched := faultinject.Preset(cfg.FaultRate)
+	sched.LatencyDur = time.Millisecond
+
+	base := nn.NewClassifier(nn.ArchResNet18, 8, 2, tensor.NewRand(cfg.Seed, 1))
+	reg := obs.NewRegistry()
+	svcOpts := []httpapi.ServerOption{}
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	svcOpts = append(svcOpts, httpapi.WithLogger(quiet))
+	if cfg.Observe {
+		svcOpts = append(svcOpts, httpapi.WithRegistry(reg))
+	}
+	svc := cloud.NewService(base, cloud.DefaultConfig())
+
+	rOpts := []cloud.RolloutOption{}
+	if cfg.Observe {
+		rOpts = append(rOpts, cloud.WithRolloutObserver(reg))
+	}
+	rollout, err := cloud.NewRollout(cfg.Plan, rOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("rollout chaos: %w", err)
+	}
+	candidate := rollout.Plan().Candidate
+
+	injector := faultinject.New(faultinject.Config{Seed: cfg.Seed, Schedule: sched})
+	ts := httptest.NewServer(injector.Middleware()(httpapi.NewServer(svc, svcOpts...)))
+	defer ts.Close()
+
+	ackedSeqs := map[string]int{}
+	client := transport.NewClient(ts.URL, transport.WithConfig(transport.Config{
+		MaxBatch:       8,
+		FlushInterval:  time.Hour, // explicit Flush only
+		RequestTimeout: 2 * time.Second,
+		MaxAttempts:    10,
+		SpoolCapacity:  cfg.Devices * cfg.PerDevice * cfg.Windows,
+		Backoff:        transport.BackoffConfig{Base: time.Millisecond, Max: 4 * time.Millisecond},
+		Breaker:        transport.BreakerConfig{Threshold: 5, Cooldown: 2 * time.Millisecond},
+		Seed:           cfg.Seed,
+		Name:           fmt.Sprintf("rollout_chaos_%d", cfg.Seed),
+		Logger:         quiet,
+		Sleep:          cappedSleep(5 * time.Millisecond),
+		OnAck: func(entries []driftlog.Entry) {
+			for _, e := range entries {
+				ackedSeqs[e.Attrs[chaosAttrSeq]]++
+			}
+		},
+	}))
+
+	res := &RolloutChaosResult{FaultRate: sched.FaultRate()}
+	rng := tensor.NewRand(cfg.Seed, 0x5011)
+	start := weather.Day(0)
+	ctx := context.Background()
+	seq := 0
+	res.MaxPercent = rollout.Percent()
+
+	for w := 0; w < cfg.Windows; w++ {
+		for i := 0; i < cfg.Devices; i++ {
+			id := fmt.Sprintf("rc_dev_%d", i)
+			version := rollout.Assign(id)
+			acc := cfg.BaseAccuracy
+			if version == candidate {
+				acc += cfg.CanaryDelta
+			}
+			for j := 0; j < cfg.PerDevice; j++ {
+				correct := rng.Float64() < acc
+				entry := driftlog.Entry{
+					Time: start.Add(time.Duration(w*cfg.PerDevice+j) * time.Minute),
+					Attrs: map[string]string{
+						driftlog.AttrDevice: id,
+						driftlog.AttrModel:  version,
+						chaosAttrSeq:        strconv.Itoa(seq),
+						rolloutAttrWindow:   strconv.Itoa(w),
+						rolloutAttrCorrect:  boolAttr(correct),
+					},
+					Drift:    !correct, // detector fires on the regression
+					SampleID: -1,
+				}
+				seq++
+				res.Streamed++
+				if err := client.Report(entry, nil); err != nil {
+					return nil, fmt.Errorf("rollout chaos: report: %w", err)
+				}
+			}
+		}
+		if err := client.Flush(ctx); err != nil {
+			return nil, fmt.Errorf("rollout chaos: window %d flush: %w", w, err)
+		}
+		// Score the window from what actually reached the cloud log —
+		// deduped, because the wire is at-least-once.
+		canary, control := windowStats(svc, candidate, w)
+		rollout.Observe(canary, control)
+		if pct := rollout.Percent(); pct > res.MaxPercent {
+			res.MaxPercent = pct
+		}
+	}
+
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := client.Close(cctx); err != nil {
+		return nil, fmt.Errorf("rollout chaos: close: %w", err)
+	}
+
+	// Delivery audit, identical in spirit to RunChaos: acked ⊆ logged.
+	st := client.Stats()
+	res.Acked = int(st.Acked)
+	present := map[string]int{}
+	svc.Log().Each(func(_ int, e driftlog.Entry) {
+		if s, ok := e.Attrs[chaosAttrSeq]; ok {
+			present[s]++
+		}
+	})
+	res.Delivered = len(present)
+	for _, n := range present {
+		res.Duplicates += n - 1
+	}
+	for s := range ackedSeqs {
+		if present[s] == 0 {
+			res.LostAcked++
+		}
+	}
+
+	status := rollout.Status()
+	res.FinalState = string(status.State)
+	res.FinalPercent = rollout.Percent()
+	res.RollbackWindow = status.RollbackWindow
+	for _, d := range status.Decisions {
+		res.Decisions = append(res.Decisions, string(d))
+	}
+
+	if cfg.Observe {
+		lines, err := scrapeRolloutMetrics(ts.URL)
+		if err != nil {
+			return nil, fmt.Errorf("rollout chaos: metrics scrape: %w", err)
+		}
+		res.RolloutMetrics = lines
+	}
+	return res, nil
+}
+
+// windowStats reconstructs the canary and control cohort statistics for
+// window w from the cloud's drift log, deduplicating retried entries by
+// their sequence attribute.
+func windowStats(svc *cloud.Service, candidate string, w int) (canary, control cloud.CohortStats) {
+	want := strconv.Itoa(w)
+	seen := map[string]bool{}
+	svc.Log().Each(func(_ int, e driftlog.Entry) {
+		if e.Attrs[rolloutAttrWindow] != want {
+			return
+		}
+		seq := e.Attrs[chaosAttrSeq]
+		if seen[seq] {
+			return
+		}
+		seen[seq] = true
+		s := cloud.CohortStats{Total: 1}
+		if e.Attrs[rolloutAttrCorrect] == "1" {
+			s.Correct = 1
+		}
+		if e.Drift {
+			s.DriftFlagged = 1
+		}
+		if e.Attrs[driftlog.AttrModel] == candidate {
+			canary = canary.Add(s)
+		} else {
+			control = control.Add(s)
+		}
+	})
+	return canary, control
+}
+
+// scrapeRolloutMetrics pulls GET /metrics (through the same faulty
+// wire, retrying a few times) and returns the nazar_rollout_* lines.
+func scrapeRolloutMetrics(url string) ([]string, error) {
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		resp, err := http.Get(url + "/metrics")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("status %d err %v", resp.StatusCode, err)
+			continue
+		}
+		var lines []string
+		for _, line := range strings.Split(string(body), "\n") {
+			if strings.HasPrefix(line, "nazar_rollout_") {
+				lines = append(lines, line)
+			}
+		}
+		return lines, nil
+	}
+	return nil, lastErr
+}
+
+func boolAttr(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
