@@ -10,9 +10,9 @@ GO ?= go
 # their shared support caches, and the WAL — concurrent appends,
 # background compaction, and the crash matrix all live under
 # internal/driftlog, with the service-level wiring under internal/cloud).
-RACE_PKGS = ./internal/cloud/... ./internal/driftlog/... ./internal/fim/... ./internal/rca/... ./internal/httpapi/... ./internal/tensor/... ./internal/transport/... ./internal/faultinject/... ./internal/wire/... ./internal/macrosim/...
+RACE_PKGS = ./internal/cloud/... ./internal/driftlog/... ./internal/fim/... ./internal/rca/... ./internal/httpapi/... ./internal/tensor/... ./internal/transport/... ./internal/faultinject/... ./internal/wire/... ./internal/macrosim/... ./internal/sketch/...
 
-.PHONY: ci vet staticcheck build test race race-chaos chaos macrosim-smoke fuzz fuzz-smoke bench bench-kernels bench-analysis bench-wal bench-wire bench-macrosim bench-smoke clean
+.PHONY: ci vet staticcheck build test race race-chaos chaos macrosim-smoke fuzz fuzz-smoke bench bench-kernels bench-analysis bench-wal bench-wire bench-macrosim bench-sketch bench-smoke clean
 
 ci: vet staticcheck build test race race-chaos macrosim-smoke
 
@@ -78,6 +78,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz FuzzWireDecode -fuzztime 30s
 	$(GO) test ./internal/nn/ -run '^$$' -fuzz FuzzQuantizedForward -fuzztime 30s
 	$(GO) test ./internal/macrosim/ -run '^$$' -fuzz FuzzParseScenario -fuzztime 30s
+	$(GO) test ./internal/driftlog/ -run '^$$' -fuzz FuzzSketchDifferential -fuzztime 30s
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkIngest$$|BenchmarkIngestBatch$$|BenchmarkRunWindow$$' -benchtime 2s .
@@ -136,6 +137,17 @@ bench-macrosim:
 	$(GO) run ./cmd/benchjson < bench-macrosim.out > BENCH_macrosim.json
 	@rm -f bench-macrosim.out
 	@echo "wrote BENCH_macrosim.json"
+
+# High-cardinality index-tier benchmarks: sketch-backed counting,
+# per-value group-bys and (re-)mining vs the exact bitset path at
+# 100k/1M rows × 100/100k distinct values, each reporting index-bytes.
+# Results (including sketch-vs-exact speedups) land in BENCH_sketch.json.
+bench-sketch:
+	$(GO) test -run '^$$' -bench 'BenchmarkSketch' -benchmem -benchtime 0.5s -count 5 \
+		./internal/driftlog/ ./internal/fim/ | tee bench-sketch.out
+	$(GO) run ./cmd/benchjson < bench-sketch.out > BENCH_sketch.json
+	@rm -f bench-sketch.out
+	@echo "wrote BENCH_sketch.json"
 
 # One-iteration pass over every benchmark in the repo — the CI smoke
 # check that none of them rotted.

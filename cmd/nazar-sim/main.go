@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"nazar/internal/dataset"
+	"nazar/internal/driftlog"
 	"nazar/internal/faultinject"
 	"nazar/internal/imagesim"
 	"nazar/internal/macrosim"
@@ -77,11 +78,12 @@ func main() {
 		rolloutSpec = flag.String("rollout", "", "with -scenario, override the pack's staged rollout (candidate=v2,delta=-0.1,steps=1:5:25,guard=0.03,min=100[,ceiling=50][,drift-guard=0.1][,start=1])")
 		workers     = flag.Int("workers", 0, "with -scenario, worker-pool width (0 = GOMAXPROCS; never changes results)")
 		simOut      = flag.String("sim-out", "", "with -scenario, write the deterministic summary JSON here")
+		simSketch   = flag.Int("sim-sketch-threshold", 0, "with -scenario, ingest the pack's sampled entries (sink_every) into an in-process drift log whose index tiers to sketches past this distinct-value count, and report the index tiers after the run (0 = off)")
 	)
 	flag.Parse()
 
 	if *scenario != "" {
-		if err := runScenario(*scenario, *rolloutSpec, *workers, *simOut); err != nil {
+		if err := runScenario(*scenario, *rolloutSpec, *workers, *simOut, *simSketch); err != nil {
 			log.Fatalf("nazar-sim: %v", err)
 		}
 		return
@@ -165,7 +167,7 @@ func main() {
 // devices/sec throughput. The summary written by -sim-out is
 // byte-deterministic for a given pack — diffing two runs is a
 // reproducibility check.
-func runScenario(path, rolloutSpec string, workers int, outPath string) error {
+func runScenario(path, rolloutSpec string, workers int, outPath string, sketchThreshold int) error {
 	sc, err := macrosim.LoadScenario(path)
 	if err != nil {
 		return err
@@ -184,6 +186,15 @@ func runScenario(path, rolloutSpec string, workers int, outPath string) error {
 	opts := []macrosim.Option{macrosim.WithObserver(reg)}
 	if workers > 0 {
 		opts = append(opts, macrosim.WithWorkers(workers))
+	}
+	var store *driftlog.Store
+	if sketchThreshold > 0 {
+		if sc.SinkEvery <= 0 {
+			sc.SinkEvery = 1
+			fmt.Println("-sim-sketch-threshold: pack has no sink_every; sampling every delivered entry")
+		}
+		store = driftlog.NewStoreWithSketch(driftlog.SketchConfig{Threshold: sketchThreshold})
+		opts = append(opts, macrosim.WithSink(storeSink{store}))
 	}
 	eng, err := macrosim.New(sc, opts...)
 	if err != nil {
@@ -219,6 +230,15 @@ func runScenario(path, rolloutSpec string, workers int, outPath string) error {
 	deviceWindows := float64(sc.Devices) * float64(sc.Windows)
 	fmt.Printf("simulated %d devices x %d windows in %v (%.0f devices/s)\n",
 		sc.Devices, sc.Windows, elapsed.Round(time.Millisecond), deviceWindows/elapsed.Seconds())
+	if store != nil {
+		st := store.Stats()
+		fmt.Printf("drift log: %d rows, %d attrs (%d sketched), exact index %d bitmaps / %d KiB, sketch tier %d buckets / %d KiB\n",
+			st.Rows, st.Attributes, st.SketchAttrs, st.IndexBitmaps, st.IndexWords*8/1024,
+			st.SketchBuckets, st.SketchBytes/1024)
+		if attrs := store.SketchedAttrs(); len(attrs) > 0 {
+			fmt.Printf("sketched attributes: %v\n", attrs)
+		}
+	}
 
 	if outPath != "" {
 		b, err := sum.MarshalStable()
@@ -279,5 +299,14 @@ func runChaos(rates, schedule string, devices, perDevice int, seed uint64, codec
 	if lost > 0 {
 		return fmt.Errorf("chaos: %d acknowledged entries lost", lost)
 	}
+	return nil
+}
+
+// storeSink feeds the simulator's sampled entry stream into an
+// in-process drift log (the -sim-sketch-threshold path).
+type storeSink struct{ store *driftlog.Store }
+
+func (s storeSink) Report(e driftlog.Entry, _ []float64) error {
+	s.store.Append(e)
 	return nil
 }

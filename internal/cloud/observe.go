@@ -32,6 +32,12 @@ import (
 //	nazar_driftlog_index_words        64-bit words held by the index
 //	nazar_fim_cache_hits              memoized support-count hits
 //	nazar_fim_cache_misses            memoized support-count misses
+//	nazar_fim_cache_evictions         support-memo LRU evictions
+//	nazar_fim_minecache_entries       retained cross-window count entries
+//	nazar_sketch_attrs                attributes on the sketch tier
+//	nazar_sketch_buckets              live sub-sketch buckets (incl. rest)
+//	nazar_sketch_bytes                sketch-tier resident bytes
+//	nazar_sketch_evicted              sub-sketch buckets folded into rest
 //	nazar_driftlog_rows               current drift-log rows
 //	nazar_driftlog_shard_rows{shard=} per-shard occupancy
 //	nazar_driftlog_attributes         distinct attribute names
@@ -150,6 +156,23 @@ func (m *Metrics) observeStores(s *Service) {
 		func() float64 { return float64(fim.ReadSupportCacheStats().Hits) })
 	reg.GaugeFunc("nazar_fim_cache_misses", "Memoized support-count misses (process-wide).",
 		func() float64 { return float64(fim.ReadSupportCacheStats().Misses) })
+	reg.GaugeFunc("nazar_fim_cache_evictions", "Support-memo LRU evictions (process-wide).",
+		func() float64 { return float64(fim.ReadSupportCacheStats().Evictions) })
+	reg.GaugeFunc("nazar_fim_minecache_entries", "Count entries retained by the cross-window mining cache.",
+		func() float64 {
+			s.acMu.Lock()
+			defer s.acMu.Unlock()
+			return float64(s.acache.mine.Size())
+		})
+
+	reg.GaugeFunc("nazar_sketch_attrs", "Attributes answered by the approximate sketch tier.",
+		func() float64 { return float64(log.Stats().SketchAttrs) })
+	reg.GaugeFunc("nazar_sketch_buckets", "Live sub-sketch buckets across all sketch rings.",
+		func() float64 { return float64(log.Stats().SketchBuckets) })
+	reg.GaugeFunc("nazar_sketch_bytes", "Resident bytes held by the sketch tier.",
+		func() float64 { return float64(log.Stats().SketchBytes) })
+	reg.GaugeFunc("nazar_sketch_evicted", "Sub-sketch buckets folded into the rest bucket.",
+		func() float64 { return float64(log.Stats().SketchEvicted) })
 
 	reg.GaugeFunc("nazar_samples_retained", "Samples currently held.",
 		func() float64 { return float64(samples.Stats().Retained) })

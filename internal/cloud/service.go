@@ -200,6 +200,12 @@ type Config struct {
 	// analysis, bounding log growth. Note that retention interacts with
 	// cumulative analysis: compacted history no longer supports causes.
 	LogRetention time.Duration
+	// Sketch tunes the drift log's tiered approximate-counting layer for
+	// high-cardinality attributes (see driftlog.SketchConfig). The zero
+	// value selects the defaults; ordinary categorical attributes never
+	// cross the default threshold, so behavior is exact unless the fleet
+	// actually logs a high-cardinality attribute.
+	Sketch driftlog.SketchConfig
 }
 
 // DefaultConfig returns the paper-default cloud configuration.
@@ -361,7 +367,7 @@ func NewService(base *nn.Network, cfg Config, opts ...Option) *Service {
 	s := &Service{
 		cfg:     cfg,
 		clock:   time.Now,
-		log:     driftlog.NewStore(),
+		log:     driftlog.NewStoreWithSketch(cfg.Sketch),
 		samples: NewSampleStore(),
 		base:    base,
 		refBN:   nn.CaptureBN(base),

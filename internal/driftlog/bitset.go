@@ -429,6 +429,11 @@ func (v *View) pairCountsBitset(ov *Overlay, exclude map[string]bool) map[PairKe
 		for a := 0; a < len(cols); a++ {
 			for b := a + 1; b < len(cols); b++ {
 				ca, cb := cols[a].c, cols[b].c
+				if ca.sketched || cb.sketched {
+					// Handled by pairCountsSketchSection (the pair ring
+					// or its exact scan fallback).
+					continue
+				}
 				if (len(ca.dict)-1)*(len(cb.dict)-1) > maxPairCross {
 					vs.pairScanInto(v, ov, si, cols[a].name, ca, cols[b].name, cb, out)
 					continue

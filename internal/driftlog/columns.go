@@ -195,6 +195,38 @@ func (s *Store) AppendColumns(b *ColumnarBatch) error {
 		s.registerAttrNames(names)
 	}
 
+	// Distinct-value tracking for the sketch tier: only values actually
+	// used by rows count (a dictionary entry no row references is not a
+	// sighting). Tier-ups run before the rows land; the appended rows
+	// then feed the sketches directly.
+	{
+		sketched := s.sketchedSet()
+		var tier []string
+		for ci := range b.Cols {
+			col := &b.Cols[ci]
+			if sketched[col.Name] {
+				continue
+			}
+			used := make([]bool, len(col.Dict))
+			for _, id := range col.IDs {
+				used[id] = true
+			}
+			vals := make([]string, 0, len(col.Dict))
+			for id := 1; id < len(col.Dict); id++ {
+				if used[id] {
+					vals = append(vals, col.Dict[id])
+				}
+			}
+			if len(vals) > 0 && s.trackValues(col.Name, vals) {
+				tier = append(tier, col.Name)
+			}
+		}
+		sort.Strings(tier)
+		for _, name := range tier {
+			s.tierUp(name)
+		}
+	}
+
 	// Shard placement: by device-attribute hash when the row has one
 	// (precomputed per dictionary value, not per row), round-robin by
 	// sequence otherwise — identical to shardFor.
@@ -224,6 +256,15 @@ func (s *Store) AppendColumns(b *ColumnarBatch) error {
 		rowsByShard[si] = append(rowsByShard[si], int32(i))
 	}
 
+	// Sketch feeding iterates batch columns in sorted-name order (map
+	// iteration in the row path is replaced by this fixed order) so
+	// Space-Saving offer order is deterministic per row.
+	colOrder := make([]int, len(b.Cols))
+	for i := range colOrder {
+		colOrder[i] = i
+	}
+	sort.Slice(colOrder, func(i, j int) bool { return b.Cols[colOrder[i]].Name < b.Cols[colOrder[j]].Name })
+
 	for si := range rowsByShard {
 		if len(rowsByShard[si]) == 0 {
 			continue
@@ -234,8 +275,13 @@ func (s *Store) AppendColumns(b *ColumnarBatch) error {
 		shCols := make([]*column, len(b.Cols))
 		remaps := make([][]uint32, len(b.Cols))
 		sh.mu.Lock()
+		sketched := s.sketchedSet()
+		var kvs []attrKV
 		for _, bi := range rowsByShard[si] {
 			row := len(sh.times)
+			if row > 0 && b.Times[bi] < sh.times[row-1] {
+				sh.timeSorted = false
+			}
 			sh.seqs = append(sh.seqs, base+int64(bi))
 			sh.times = append(sh.times, b.Times[bi])
 			sh.drift = append(sh.drift, b.Drift[bi])
@@ -255,6 +301,7 @@ func (s *Store) AppendColumns(b *ColumnarBatch) error {
 					col, ok = sh.cols[name]
 					if !ok {
 						col = newColumn(row)
+						col.sketched = sketched[name]
 						sh.cols[name] = col
 						sh.order = append(sh.order, name)
 					}
@@ -267,7 +314,18 @@ func (s *Store) AppendColumns(b *ColumnarBatch) error {
 					remaps[ci][id] = lid
 				}
 				col.ids = append(col.ids, lid)
-				col.bits[lid] = setBit(col.bits[lid], row)
+				if !col.sketched {
+					col.bits[lid] = setBit(col.bits[lid], row)
+				}
+			}
+			if len(sketched) > 0 {
+				kvs = kvs[:0]
+				for _, ci := range colOrder {
+					if id := b.Cols[ci].IDs[bi]; id != 0 {
+						kvs = append(kvs, attrKV{b.Cols[ci].Name, b.Cols[ci].Dict[id]})
+					}
+				}
+				s.sk.feed(sketched, b.Times[bi], b.Drift[bi], kvs)
 			}
 			// Backfill columns the row did not carry (including shard
 			// columns absent from this batch entirely).

@@ -65,6 +65,10 @@ type column struct {
 	dict  []string          // dict[0] == ""
 	index map[string]uint32 // value -> id
 	bits  [][]uint64        // parallel to dict
+	// sketched marks a column whose attribute tiered onto the sketch
+	// layer: per-value bitmaps are freed and no longer maintained (ids
+	// and dict stay, so exact row scans still work).
+	sketched bool
 }
 
 func newColumn(backfill int) *column {
@@ -101,6 +105,10 @@ type shard struct {
 	samples   []int64
 	cols      map[string]*column
 	order     []string // column names in shard-first-seen order
+	// timeSorted tracks whether the shard's timestamps are monotonically
+	// non-decreasing (true until an out-of-order append), enabling
+	// binary-search window fast paths on views.
+	timeSorted bool
 }
 
 // Store is the drift log. It is safe for concurrent use: appends from
@@ -119,17 +127,38 @@ type Store struct {
 	compactions atomic.Int64
 
 	// attrMu guards the store-wide attribute registry (first-seen order
-	// across all shards).
+	// across all shards) and the per-attribute distinct-value tracking
+	// sets behind the sketch tiering decision.
 	attrMu    sync.RWMutex
 	attrSeen  map[string]bool
 	attrOrder []string
+	card      map[string]map[string]bool
+
+	// Tiered sketch layer (see sketchindex.go). sketchedPtr holds the
+	// immutable snapshot of sketched attribute names; feed paths load it
+	// once under the shard lock.
+	sk         *sketchIndex
+	sketchedPtr atomic.Pointer[map[string]bool]
 }
 
-// NewStore returns an empty drift log.
+// NewStore returns an empty drift log with the default sketch tiering
+// configuration (threshold 4096 — ordinary categorical attributes stay on
+// the exact bitset tier).
 func NewStore() *Store {
-	s := &Store{attrSeen: map[string]bool{}}
+	return NewStoreWithSketch(SketchConfig{})
+}
+
+// NewStoreWithSketch returns an empty drift log with the given sketch
+// tiering configuration (zero fields take defaults).
+func NewStoreWithSketch(cfg SketchConfig) *Store {
+	s := &Store{
+		attrSeen: map[string]bool{},
+		card:     map[string]map[string]bool{},
+		sk:       newSketchIndex(cfg),
+	}
 	for i := range s.shards {
 		s.shards[i].cols = map[string]*column{}
+		s.shards[i].timeSorted = true
 	}
 	return s
 }
@@ -187,10 +216,13 @@ func (s *Store) registerAttrs(attrs map[string]string) {
 // Append ingests one entry.
 func (s *Store) Append(e Entry) {
 	s.registerAttrs(e.Attrs)
+	s.observeCardinality(e.Attrs)
 	seq := s.seq.Add(1) - 1
 	sh := &s.shards[shardFor(e, seq)]
 	sh.mu.Lock()
-	sh.appendLocked(seq, e)
+	sketched := s.sketchedSet()
+	sh.appendLocked(seq, e, sketched)
+	s.feedRowLocked(sketched, e.Time.UnixNano(), e.Drift, e.Attrs)
 	sh.mu.Unlock()
 }
 
@@ -203,6 +235,7 @@ func (s *Store) AppendBatch(entries []Entry) {
 	}
 	for _, e := range entries {
 		s.registerAttrs(e.Attrs)
+		s.observeCardinality(e.Attrs)
 	}
 	base := s.seq.Add(int64(len(entries))) - int64(len(entries))
 	type job struct {
@@ -221,17 +254,23 @@ func (s *Store) AppendBatch(entries []Entry) {
 		}
 		sh := &s.shards[si]
 		sh.mu.Lock()
+		sketched := s.sketchedSet()
 		for _, j := range jobs[si] {
-			sh.appendLocked(j.seq, j.e)
+			sh.appendLocked(j.seq, j.e, sketched)
+			s.feedRowLocked(sketched, j.e.Time.UnixNano(), j.e.Drift, j.e.Attrs)
 		}
 		sh.mu.Unlock()
 	}
 }
 
-func (sh *shard) appendLocked(seq int64, e Entry) {
+func (sh *shard) appendLocked(seq int64, e Entry, sketched map[string]bool) {
 	row := len(sh.times)
+	t := e.Time.UnixNano()
+	if row > 0 && t < sh.times[row-1] {
+		sh.timeSorted = false
+	}
 	sh.seqs = append(sh.seqs, seq)
-	sh.times = append(sh.times, e.Time.UnixNano())
+	sh.times = append(sh.times, t)
 	sh.drift = append(sh.drift, e.Drift)
 	if e.Drift {
 		sh.driftBits = setBit(sh.driftBits, row)
@@ -241,12 +280,15 @@ func (sh *shard) appendLocked(seq int64, e Entry) {
 		col, ok := sh.cols[name]
 		if !ok {
 			col = newColumn(row)
+			col.sketched = sketched[name]
 			sh.cols[name] = col
 			sh.order = append(sh.order, name)
 		}
 		id := col.intern(val)
 		col.ids = append(col.ids, id)
-		col.bits[id] = setBit(col.bits[id], row)
+		if !col.sketched {
+			col.bits[id] = setBit(col.bits[id], row)
+		}
 	}
 	// Backfill missing attributes for this row.
 	for _, name := range sh.order {
@@ -290,6 +332,13 @@ type Stats struct {
 	// 64-bit words they hold.
 	IndexBitmaps int
 	IndexWords   int
+	// Sketch tier: attributes answered by sketches, live sub-sketch
+	// buckets (pair ring included), total sketch bytes, and buckets
+	// folded into "rest" by eviction since the store was created.
+	SketchAttrs   int
+	SketchBuckets int
+	SketchBytes   int64
+	SketchEvicted int64
 }
 
 // Stats returns the current operational snapshot. It scans row
@@ -330,6 +379,8 @@ func (s *Store) Stats() Stats {
 	s.attrMu.RLock()
 	st.Attributes = len(s.attrOrder)
 	s.attrMu.RUnlock()
+	st.SketchAttrs = len(s.sketchedSet())
+	s.sk.collectStats(&st)
 	if st.Rows > 0 {
 		st.OldestTime = time.Unix(0, oldest).UTC()
 		st.NewestTime = time.Unix(0, newest).UTC()
@@ -416,11 +467,14 @@ type Cond struct {
 }
 
 // viewCol pins one shard column at snapshot time. bits (indexed views
-// only) pins the value bitmaps, parallel to dict.
+// only) pins the value bitmaps, parallel to dict. sketched columns carry
+// no bitmaps — queries on them are answered by the sketch layer or by
+// exact row scans over the retained ids.
 type viewCol struct {
-	ids  []uint32
-	dict []string
-	bits []bmSnap
+	ids      []uint32
+	dict     []string
+	bits     []bmSnap
+	sketched bool
 }
 
 // lookup resolves a value to its dictionary ID (0 = not present).
@@ -460,6 +514,10 @@ type viewShard struct {
 	// bound (time >= prevTo). Zero minRow accepts every in-window row.
 	minRow int
 	prevTo int64
+
+	// sorted pins the shard's timestamp monotonicity at snapshot time,
+	// enabling binary-search window materialization and edge scans.
+	sorted bool
 }
 
 // View is a read-only window over the store: the rows whose timestamps
@@ -475,6 +533,14 @@ type View struct {
 	total    int
 	noIndex  bool // WindowScan views: force the row-scan oracle paths
 	shards   [numShards]viewShard
+
+	// Sketch layer pinned at creation: the sketched-attribute snapshot
+	// and the live sketch index. delta marks Since-derived views, which
+	// the sketches cannot answer (they cover whole windows, not row
+	// deltas) — those fall back to exact scans for sketched attributes.
+	sk       *sketchIndex
+	sketched map[string]bool
+	delta    bool
 }
 
 // Window returns a view over [from, to). Zero times are unbounded. The
@@ -489,7 +555,7 @@ func (s *Store) Window(from, to time.Time) *View { return s.window(from, to, tru
 func (s *Store) WindowScan(from, to time.Time) *View { return s.window(from, to, false) }
 
 func (s *Store) window(from, to time.Time, indexed bool) *View {
-	v := &View{attrs: map[string]bool{}, noIndex: !indexed}
+	v := &View{attrs: map[string]bool{}, noIndex: !indexed, sk: s.sk, sketched: s.sketchedSet()}
 	s.attrMu.RLock()
 	for _, name := range s.attrOrder {
 		v.attrs[name] = true
@@ -516,12 +582,17 @@ func (s *Store) window(from, to time.Time, indexed bool) *View {
 			drift:   sh.drift[:rows],
 			samples: sh.samples[:rows],
 			cols:    make(map[string]viewCol, len(sh.cols)),
+			sorted:  sh.timeSorted,
 		}
 		if indexed {
 			fw := rows >> 6
 			rem := uint(rows & 63)
 			vs.driftBM = snapBitmap(sh.driftBits, fw, rem)
 			for name, col := range sh.cols {
+				if col.sketched {
+					vs.cols[name] = viewCol{ids: col.ids[:rows], dict: col.dict, sketched: true}
+					continue
+				}
 				nvals := len(col.dict)
 				bits := make([]bmSnap, nvals)
 				for id := 1; id < nvals; id++ {
@@ -562,6 +633,29 @@ func (vs *viewShard) buildWindowBM(v *View) {
 		if rem > 0 {
 			tail = 1<<rem - 1
 		}
+	} else if vs.sorted {
+		// Sorted shard: the window predicate selects one contiguous row
+		// range — [from, to) becomes [lo, hi) by binary search, and the
+		// delta predicate (i >= minRow || t >= prevTo) collapses to
+		// i >= min(minRow, first row with t >= prevTo). Materialization
+		// is O(rows/64) instead of O(rows), which is what keeps delta
+		// views over a grown log proportional to the delta.
+		lo := sort.Search(vs.rows, func(i int) bool { return vs.times[i] >= v.from })
+		hi := vs.rows
+		if v.to != 1<<63-1 {
+			hi = sort.Search(vs.rows, func(i int) bool { return vs.times[i] >= v.to })
+		}
+		if vs.minRow > 0 {
+			pTo := sort.Search(vs.rows, func(i int) bool { return vs.times[i] >= vs.prevTo })
+			m := vs.minRow
+			if pTo < m {
+				m = pTo
+			}
+			if m > lo {
+				lo = m
+			}
+		}
+		tail = setBitRange(words, tail, fw, lo, hi)
 	} else {
 		for i := 0; i < vs.rows; i++ {
 			if !vs.inWindow(v, i) {
@@ -576,6 +670,36 @@ func (vs *viewShard) buildWindowBM(v *View) {
 	}
 	vs.window = bmSnap{words: words, tail: tail}
 	vs.indexed = true
+}
+
+// setBitRange sets bits [lo, hi) across the word array plus the logical
+// tail word at index fw, filling covered words wholesale. Returns the
+// updated tail.
+func setBitRange(words []uint64, tail uint64, fw, lo, hi int) uint64 {
+	set := func(w int, mask uint64) {
+		if w < fw {
+			words[w] |= mask
+		} else {
+			tail |= mask
+		}
+	}
+	for lo < hi {
+		w := lo >> 6
+		end := (w + 1) << 6
+		if end > hi {
+			end = hi
+		}
+		mask := ^uint64(0)
+		if b := uint(lo) & 63; b > 0 {
+			mask &^= 1<<b - 1
+		}
+		if r := uint(end) & 63; r > 0 {
+			mask &= 1<<r - 1
+		}
+		set(w, mask)
+		lo = end
+	}
+	return tail
 }
 
 // All returns a view over every row currently in the store.
@@ -609,7 +733,8 @@ func (v *View) Since(prevRows []int, prevTo int64) (*View, error) {
 	if len(prevRows) != numShards {
 		return nil, fmt.Errorf("driftlog: Since: got %d shard watermarks, want %d", len(prevRows), numShards)
 	}
-	d := &View{from: v.from, to: v.to, attrs: v.attrs, total: v.total, noIndex: v.noIndex}
+	d := &View{from: v.from, to: v.to, attrs: v.attrs, total: v.total, noIndex: v.noIndex,
+		sk: v.sk, sketched: v.sketched, delta: true}
 	d.shards = v.shards
 	for si := range d.shards {
 		vs := &d.shards[si]
@@ -731,6 +856,14 @@ func (v *View) Count(conds []Cond, ov *Overlay) (CountResult, error) {
 	if v.noIndex {
 		return v.CountScan(conds, ov)
 	}
+	if v.condSketched(conds) {
+		// Sketched attributes carry no bitmaps: answer from the sketch
+		// layer when the view is sketch-eligible, else exact row scan.
+		if v.sketchEligible(ov) {
+			return v.countSketch(conds, ov)
+		}
+		return v.CountScan(conds, ov)
+	}
 	return v.countBitset(conds, ov)
 }
 
@@ -785,7 +918,9 @@ func (v *View) CountScan(conds []Cond, ov *Overlay) (CountResult, error) {
 // Overlay.Epoch). Indexed views clear word-wise; WindowScan views fall
 // back to the row-scan oracle.
 func (v *View) ClearDrift(conds []Cond, ov *Overlay) (int, error) {
-	if v.noIndex {
+	if v.noIndex || v.condSketched(conds) {
+		// Sketched attributes clear via the exact row scan (their ids
+		// are retained), so counterfactual clearing is never approximate.
 		return v.ClearDriftScan(conds, ov)
 	}
 	return v.clearDriftBitset(conds, ov)
@@ -856,7 +991,18 @@ func (v *View) AttrValueCountsInto(dst map[string]map[string]CountResult, ov *Ov
 	if v.noIndex {
 		return v.attrValueCountsScanInto(dst, ov)
 	}
-	return v.attrValueCountsBitset(dst, ov)
+	out := v.attrValueCountsBitset(dst, ov)
+	if len(v.sketched) > 0 {
+		// Sketched attributes contributed nothing to the bitset pass;
+		// fill them from heavy-hitter candidates (eligible views) or an
+		// exact row scan over just those columns.
+		if v.sketchEligible(ov) {
+			v.attrValueCountsSketch(out)
+		} else {
+			v.attrValueCountsScanSketched(out, ov)
+		}
+	}
+	return out
 }
 
 // AttrValueCountsScan is the retained row-scan oracle for
@@ -966,7 +1112,14 @@ func (v *View) PairCounts(ov *Overlay, exclude map[string]bool) map[PairKey]Coun
 	if v.noIndex {
 		return v.PairCountsScan(ov, exclude)
 	}
-	return v.pairCountsBitset(ov, exclude)
+	out := v.pairCountsBitset(ov, exclude)
+	if len(v.sketched) > 0 {
+		// Pairs touching sketched attributes were skipped by the bitset
+		// pass; fill them from the pair ring (eligible views) or an
+		// exact row scan over just those attribute pairs.
+		v.pairCountsSketchSection(out, ov, exclude)
+	}
+	return out
 }
 
 // PairCountsScan is the retained grouped row-scan oracle for

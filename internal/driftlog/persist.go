@@ -175,6 +175,22 @@ func (s *Store) Compact(cutoff time.Time) int {
 		sh.cols = newCols
 		sh.mu.Unlock()
 	}
+	// Rebuild the sketch tier wholesale: compaction dropped rows the
+	// sketches still count (and rebuilt bitmaps for sketched columns),
+	// so replay the survivors under every shard lock — the same
+	// consistency protocol as tier-up. Sketched attributes stay sticky.
+	if sketched := s.sketchedSet(); removed > 0 && len(sketched) > 0 {
+		s.sk.tierMu.Lock()
+		for si := range s.shards {
+			s.shards[si].mu.Lock()
+		}
+		s.sk.reset()
+		s.replaySketchesLocked(sketched)
+		for si := numShards - 1; si >= 0; si-- {
+			s.shards[si].mu.Unlock()
+		}
+		s.sk.tierMu.Unlock()
+	}
 	if removed > 0 {
 		// Row indices shifted: invalidate watermark-keyed caches.
 		s.compactions.Add(1)

@@ -1,0 +1,530 @@
+package driftlog
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"nazar/internal/tensor"
+)
+
+// sketchTestConfig is the geometry the sketch differential tests run
+// with: a threshold low enough that the high-cardinality attribute tiers
+// mid-ingest, buckets small enough that the window shapes cut through
+// bucket boundaries, and a ring small enough that eviction into the rest
+// bucket is exercised.
+func sketchTestConfig() SketchConfig {
+	return SketchConfig{
+		Threshold:        16,
+		Width:            4096,
+		PairWidth:        8192,
+		Depth:            4,
+		Bucket:           100 * time.Second,
+		MaxBuckets:       4,
+		HeavyHitters:     64,
+		PairHeavyHitters: 512,
+		Seed:             7,
+	}
+}
+
+// sketchStore builds a log with one high-cardinality attribute
+// (app_version: ~vers distinct values, the first ten hot) alongside the
+// usual low-cardinality ones, via mixed Append/AppendBatch ingest with
+// scattered timestamps and randomly missing attributes.
+func sketchStore(r *rand.Rand, n, vers int, cfg SketchConfig) *Store {
+	s := NewStoreWithSketch(cfg)
+	base := time.Unix(0, 0).UTC()
+	var batch []Entry
+	for i := 0; i < n; i++ {
+		attrs := map[string]string{}
+		if r.Float64() < 0.95 {
+			attrs[AttrWeather] = fmt.Sprintf("w%d", r.Intn(6))
+		}
+		if r.Float64() < 0.9 {
+			attrs[AttrLocation] = fmt.Sprintf("city_%d", r.Intn(9))
+		}
+		if r.Float64() < 0.9 {
+			v := r.Intn(vers)
+			if r.Float64() < 0.6 {
+				v = r.Intn(10) // hot set
+			}
+			attrs["app_version"] = fmt.Sprintf("1.%d", v)
+		}
+		e := Entry{
+			Time:     base.Add(time.Duration(r.Intn(1000)) * time.Second),
+			Drift:    r.Float64() < 0.3,
+			SampleID: -1,
+			Attrs:    attrs,
+		}
+		if r.Float64() < 0.5 {
+			s.Append(e)
+		} else {
+			batch = append(batch, e)
+		}
+	}
+	s.AppendBatch(batch)
+	return s
+}
+
+// sketchWindows cuts both along and across the 100s bucket grid (aligned
+// windows answer purely from sketches; unaligned ones force edge scans).
+func sketchWindows() [][2]time.Time {
+	base := time.Unix(0, 0).UTC()
+	return [][2]time.Time{
+		{{}, {}},
+		{base.Add(200 * time.Second), base.Add(700 * time.Second)},
+		{base.Add(250 * time.Second), base.Add(707 * time.Second)},
+		{base.Add(33 * time.Second), base.Add(41 * time.Second)},
+		{base.Add(5000 * time.Second), base.Add(6000 * time.Second)},
+	}
+}
+
+// assertOneSided checks the sketch contract for one query: never below
+// the exact result, above it by at most the analytic bound.
+func assertOneSided(t *testing.T, ctx string, got, exact CountResult, bound int) {
+	t.Helper()
+	if got.Total < exact.Total || got.Drift < exact.Drift {
+		t.Fatalf("%s: sketch %+v below exact %+v (must be one-sided)", ctx, got, exact)
+	}
+	if got.Drift > got.Total {
+		t.Fatalf("%s: sketch drift %d > total %d", ctx, got.Drift, got.Total)
+	}
+	if got.Total-exact.Total > bound {
+		t.Fatalf("%s: sketch total %d exceeds exact %d by more than bound %d", ctx, got.Total, exact.Total, bound)
+	}
+	if got.Drift-exact.Drift > bound {
+		t.Fatalf("%s: sketch drift %d exceeds exact %d by more than bound %d", ctx, got.Drift, exact.Drift, bound)
+	}
+}
+
+// TestSketchTierUp pins the tiering mechanics: the high-cardinality
+// attribute tiers (sticky), its bitmaps are freed, the low-cardinality
+// attributes stay exact and bit-identical to an all-exact twin store.
+func TestSketchTierUp(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cfg := sketchTestConfig()
+	s := sketchStore(r, 3000, 300, cfg)
+
+	if got := s.SketchedAttrs(); len(got) != 1 || got[0] != "app_version" {
+		t.Fatalf("SketchedAttrs = %v, want [app_version]", got)
+	}
+	st := s.Stats()
+	if st.SketchAttrs != 1 || st.SketchBuckets == 0 || st.SketchBytes == 0 {
+		t.Fatalf("sketch stats not populated: %+v", st)
+	}
+	if st.SketchEvicted == 0 {
+		t.Fatalf("expected bucket evictions with MaxBuckets=%d over 10 buckets of data", cfg.MaxBuckets)
+	}
+
+	// Twin store with sketching effectively disabled: identical data,
+	// exact everywhere.
+	exact := sketchStore(rand.New(rand.NewSource(1)), 3000, 300, SketchConfig{Threshold: 1 << 20})
+	if n := len(exact.SketchedAttrs()); n != 0 {
+		t.Fatalf("twin store sketched %d attrs", n)
+	}
+	// The sketched store must hold far fewer index words (app_version's
+	// ~300 bitmaps freed).
+	if st.IndexWords >= exact.Stats().IndexWords {
+		t.Fatalf("sketched store index words %d not below exact twin %d", st.IndexWords, exact.Stats().IndexWords)
+	}
+
+	// Exact-tier queries are bit-identical between the stores.
+	vs, ve := s.All(), exact.All()
+	for _, conds := range diffConds() {
+		cs, err1 := vs.Count(conds, nil)
+		ce, err2 := ve.Count(conds, nil)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error divergence %v %v", err1, err2)
+		}
+		if cs != ce {
+			t.Fatalf("exact-tier conds %v: sketched-store %+v exact-store %+v", conds, cs, ce)
+		}
+		if ap, _ := vs.Approx(conds, nil); ap {
+			t.Fatalf("exact-tier conds %v reported approximate", conds)
+		}
+	}
+}
+
+// TestSketchDifferentialBound is the sketch half of the PR's differential
+// contract: every sketch-answered aggregate is one-sided against the
+// exact row-scan oracle and within the analytic error bound, across
+// bucket-aligned and unaligned windows, odd shard fills, and pool widths
+// 1 and 8 (results identical across widths).
+func TestSketchDifferentialBound(t *testing.T) {
+	type key struct {
+		seed, wi, ci int
+	}
+	results := map[key]CountResult{}
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			tensor.SetMaxWorkers(workers)
+			defer tensor.SetMaxWorkers(0)
+			sizes := []int{65, 500, 3000}
+			for seed := 0; seed < 6; seed++ {
+				r := rand.New(rand.NewSource(int64(4000 + seed)))
+				s := sketchStore(r, sizes[seed%len(sizes)], 200, sketchTestConfig())
+				sketchedStore := len(s.SketchedAttrs()) > 0
+				for wi, w := range sketchWindows() {
+					vb := s.Window(w[0], w[1])
+					vo := s.WindowScan(w[0], w[1])
+					conds := [][]Cond{
+						{{"app_version", "1.3"}},
+						{{"app_version", "1.7"}, {AttrWeather, "w1"}},
+						{{"app_version", "1.150"}},
+						{{"app_version", "no-such-version"}},
+						{{"app_version", "1.0"}, {AttrLocation, "city_2"}, {AttrWeather, "w0"}},
+					}
+					for ci, cs := range conds {
+						got, err1 := vb.Count(cs, nil)
+						exact, err2 := vo.Count(cs, nil)
+						if err1 != nil || err2 != nil {
+							t.Fatalf("seed %d window %d conds %d: errs %v %v", seed, wi, ci, err1, err2)
+						}
+						approx, bound := vb.Approx(cs, nil)
+						if approx != sketchedStore {
+							t.Fatalf("seed %d window %d conds %d: approx=%v, sketched store=%v", seed, wi, ci, approx, sketchedStore)
+						}
+						ctx := fmt.Sprintf("seed %d window %d conds %d", seed, wi, ci)
+						if !approx {
+							if got != exact {
+								t.Fatalf("%s: exact-path %+v != oracle %+v", ctx, got, exact)
+							}
+						} else if len(cs) <= 2 {
+							// One or two conditions: a covering sketch
+							// exists, so the bound is against the true
+							// conjunction.
+							assertOneSided(t, ctx, got, exact, bound)
+						} else {
+							// Wider conjunctions: one-sided, and within the
+							// reported bound of the tightest exact pair
+							// marginal (no sketch covers the conjunction).
+							if got.Total < exact.Total || got.Drift < exact.Drift {
+								t.Fatalf("%s: sketch %+v below exact %+v", ctx, got, exact)
+							}
+							tightest := int(^uint(0) >> 1)
+							for i := 0; i < len(cs); i++ {
+								for j := i + 1; j < len(cs); j++ {
+									pair := []Cond{cs[i], cs[j]}
+									pc, err := vo.Count(pair, nil)
+									if err != nil {
+										t.Fatal(err)
+									}
+									_, pbound := vb.Approx(pair, nil)
+									if pc.Total+pbound < tightest {
+										tightest = pc.Total + pbound
+									}
+								}
+							}
+							if got.Total > tightest {
+								t.Fatalf("%s: sketch total %d exceeds tightest bounded pair marginal %d", ctx, got.Total, tightest)
+							}
+						}
+						k := key{seed, wi, ci}
+						if prev, ok := results[k]; ok {
+							if prev != got {
+								t.Fatalf("%s: result differs across pool widths: %+v vs %+v", ctx, prev, got)
+							}
+						} else {
+							results[k] = got
+						}
+					}
+
+					// Grouped aggregation: every sketched-attr value reported
+					// is one-sided and bounded; every exact value frequent
+					// enough for the Space-Saving guarantee is reported.
+					gotAV := vb.AttrValueCounts(nil)
+					exactAV := vo.AttrValueCountsScan(nil)
+					var totalApp int
+					for _, cr := range exactAV["app_version"] {
+						totalApp += cr.Total
+					}
+					for val, cr := range gotAV["app_version"] {
+						_, bound := vb.Approx([]Cond{{"app_version", val}}, nil)
+						assertOneSided(t, fmt.Sprintf("seed %d window %d AttrValueCounts[%s]", seed, wi, val),
+							cr, exactAV["app_version"][val], bound)
+					}
+					if !sketchedStore && !reflect.DeepEqual(gotAV, exactAV) {
+						t.Fatalf("seed %d window %d: unsketched store AttrValueCounts diverge", seed, wi)
+					}
+					if sketchedStore && wi == 0 {
+						// Space-Saving's presence guarantee is over the
+						// global stream, so check it on the unbounded window
+						// only: every value above N/capacity frequency must
+						// be a candidate.
+						guarantee := totalApp / sketchTestConfig().HeavyHitters
+						for val, cr := range exactAV["app_version"] {
+							if cr.Total <= guarantee {
+								continue
+							}
+							if _, ok := gotAV["app_version"][val]; !ok {
+								t.Fatalf("seed %d window %d: frequent value %s (count %d > %d) missing from sketch AttrValueCounts",
+									seed, wi, val, cr.Total, guarantee)
+							}
+						}
+					}
+					// Exact-tier attributes must be bit-identical either way.
+					for _, attr := range []string{AttrWeather, AttrLocation} {
+						if !reflect.DeepEqual(gotAV[attr], exactAV[attr]) {
+							t.Fatalf("seed %d window %d: exact-tier AttrValueCounts[%s] diverge", seed, wi, attr)
+						}
+					}
+
+					// Pair aggregation: reported pairs touching the sketched
+					// attribute are one-sided within the pair-ring bound.
+					gotPC := vb.PairCounts(nil, nil)
+					exactPC := vo.PairCountsScan(nil, nil)
+					for k, cr := range gotPC {
+						if k.AttrA != "app_version" && k.AttrB != "app_version" {
+							if cr != exactPC[k] {
+								t.Fatalf("seed %d window %d: exact-tier pair %+v: %+v vs %+v", seed, wi, k, cr, exactPC[k])
+							}
+							continue
+						}
+						if !sketchedStore {
+							if cr != exactPC[k] {
+								t.Fatalf("seed %d window %d: unsketched pair %+v diverges", seed, wi, k)
+							}
+							continue
+						}
+						_, _, bound, _ := vb.sk.pairs.estimate(
+							pairSketchKey(k.AttrA, k.ValA, k.AttrB, k.ValB), vb.from, vb.to)
+						assertOneSided(t, fmt.Sprintf("seed %d window %d pair %+v", seed, wi, k),
+							cr, exactPC[k], int(bound))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSketchDeltaFallbackExact pins that Since-derived delta views answer
+// sketched attributes exactly (scan fallback), so incremental mining's
+// additivity holds for the delta term.
+func TestSketchDeltaFallbackExact(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	s := sketchStore(r, 2000, 200, sketchTestConfig())
+	base := time.Unix(0, 0).UTC()
+	v1 := s.Window(time.Time{}, base.Add(600*time.Second))
+	prevRows := v1.ShardRows()
+	_, to1 := v1.Bounds()
+	// Pin the exact prev-window count before growing the log: the new
+	// batch contains rows with timestamps inside the prev window, which
+	// belong to the delta (appended after the watermark), not to prev.
+	c1, _ := s.WindowScan(time.Time{}, base.Add(600*time.Second)).Count([]Cond{{"app_version", "1.3"}}, nil)
+
+	var batch []Entry
+	for i := 0; i < 500; i++ {
+		batch = append(batch, Entry{
+			Time:     base.Add(time.Duration(r.Intn(1000)) * time.Second),
+			Drift:    r.Float64() < 0.3,
+			SampleID: -1,
+			Attrs:    map[string]string{"app_version": fmt.Sprintf("1.%d", r.Intn(200)), AttrWeather: "w0"},
+		})
+	}
+	s.AppendBatch(batch)
+
+	v2 := s.Window(time.Time{}, base.Add(900*time.Second))
+	delta, err := v2.Since(prevRows, to1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conds := []Cond{{"app_version", "1.3"}}
+	if ap, _ := delta.Approx(conds, nil); ap {
+		t.Fatal("delta view reported approximate; deltas must be exact")
+	}
+	cd, err := delta.Count(conds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdScan, err := delta.CountScan(conds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd != cdScan {
+		t.Fatalf("delta sketched-attr count %+v != scan %+v", cd, cdScan)
+	}
+	// Exact decomposition over the scan oracles sanity-checks the window
+	// plumbing under tiering.
+	vo2 := s.WindowScan(time.Time{}, base.Add(900*time.Second))
+	c2, _ := vo2.Count(conds, nil)
+	if c2.Total != c1.Total+cd.Total {
+		t.Fatalf("decomposition: full %d != prev %d + delta %d", c2.Total, c1.Total, cd.Total)
+	}
+}
+
+// TestSketchClearDriftExact pins that counterfactual clearing involving
+// sketched attributes is exact, and that a mutated overlay re-routes
+// sketched queries to the exact scan.
+func TestSketchClearDriftExact(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	s := sketchStore(r, 2500, 200, sketchTestConfig())
+	v := s.All()
+	ovA := v.DriftOverlay()
+	ovB := v.DriftOverlay()
+	defer ovA.Release()
+	defer ovB.Release()
+	conds := []Cond{{"app_version", "1.2"}}
+	na, err1 := v.ClearDrift(conds, ovA)
+	nb, err2 := v.ClearDriftScan(conds, ovB)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs %v %v", err1, err2)
+	}
+	if na != nb {
+		t.Fatalf("ClearDrift %d != scan %d", na, nb)
+	}
+	if na > 0 && ovA.Epoch() == 0 {
+		t.Fatal("mutating clear left epoch 0")
+	}
+	// Mutated overlay: sketched queries must be exact (scan fallback).
+	if v.sketchEligible(ovA) && na > 0 {
+		t.Fatal("mutated overlay still sketch-eligible")
+	}
+	got, _ := v.Count(conds, ovA)
+	want, _ := v.CountScan(conds, ovB)
+	if got != want {
+		t.Fatalf("post-clear sketched count %+v != scan %+v", got, want)
+	}
+}
+
+// TestSketchColumnarIngestEquivalence pins that the columnar append path
+// feeds sketches identically to the row path: same data, byte-identical
+// estimates.
+func TestSketchColumnarIngestEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	base := time.Unix(0, 0).UTC()
+	var entries []Entry
+	for i := 0; i < 2000; i++ {
+		entries = append(entries, Entry{
+			Time:     base.Add(time.Duration(r.Intn(1000)) * time.Second),
+			Drift:    r.Float64() < 0.3,
+			SampleID: -1,
+			Attrs: map[string]string{
+				"app_version": fmt.Sprintf("1.%d", r.Intn(150)),
+				AttrWeather:   fmt.Sprintf("w%d", r.Intn(6)),
+			},
+		})
+	}
+	cfg := sketchTestConfig()
+	rowStore := NewStoreWithSketch(cfg)
+	rowStore.AppendBatch(entries)
+	colStore := NewStoreWithSketch(cfg)
+	if err := colStore.AppendColumns(ColumnsFromEntries(entries)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rowStore.SketchedAttrs(), colStore.SketchedAttrs()) {
+		t.Fatalf("sketched attrs diverge: %v vs %v", rowStore.SketchedAttrs(), colStore.SketchedAttrs())
+	}
+	vr, vc := rowStore.All(), colStore.All()
+	for _, w := range sketchWindows() {
+		vr, vc = rowStore.Window(w[0], w[1]), colStore.Window(w[0], w[1])
+		for _, val := range []string{"1.0", "1.3", "1.77", "1.149"} {
+			conds := []Cond{{"app_version", val}}
+			cr, err1 := vr.Count(conds, nil)
+			cc, err2 := vc.Count(conds, nil)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("errs %v %v", err1, err2)
+			}
+			if cr != cc {
+				t.Fatalf("val %s: row-path %+v != columnar-path %+v", val, cr, cc)
+			}
+		}
+	}
+}
+
+// TestSketchCompactRebuild pins that compaction rebuilds the sketches
+// from the surviving rows: estimates stay one-sided and bounded against
+// the post-compaction exact oracle.
+func TestSketchCompactRebuild(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	s := sketchStore(r, 3000, 200, sketchTestConfig())
+	base := time.Unix(0, 0).UTC()
+	if removed := s.Compact(base.Add(500 * time.Second)); removed == 0 {
+		t.Fatal("compaction removed nothing")
+	}
+	if got := s.SketchedAttrs(); len(got) != 1 {
+		t.Fatalf("tiering must be sticky across compaction, got %v", got)
+	}
+	vb := s.All()
+	vo := s.WindowScan(time.Time{}, time.Time{})
+	for _, val := range []string{"1.0", "1.5", "1.123"} {
+		conds := []Cond{{"app_version", val}}
+		got, err1 := vb.Count(conds, nil)
+		exact, err2 := vo.Count(conds, nil)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errs %v %v", err1, err2)
+		}
+		_, bound := vb.Approx(conds, nil)
+		assertOneSided(t, "post-compact "+val, got, exact, bound)
+	}
+}
+
+// TestSketchPersistRoundTrip pins that a snapshot round trip re-tiers the
+// high-cardinality attribute and keeps estimates one-sided and bounded.
+func TestSketchPersistRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	s := sketchStore(r, 2000, 200, sketchTestConfig())
+	path := t.TempDir() + "/log.snap"
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewStoreWithSketch(sketchTestConfig())
+	if err := loaded.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.SketchedAttrs(), loaded.SketchedAttrs()) {
+		t.Fatalf("sketched attrs diverge after round trip: %v vs %v", s.SketchedAttrs(), loaded.SketchedAttrs())
+	}
+	vb := loaded.All()
+	vo := loaded.WindowScan(time.Time{}, time.Time{})
+	for _, val := range []string{"1.1", "1.42"} {
+		conds := []Cond{{"app_version", val}}
+		got, _ := vb.Count(conds, nil)
+		exact, _ := vo.Count(conds, nil)
+		_, bound := vb.Approx(conds, nil)
+		assertOneSided(t, "round-trip "+val, got, exact, bound)
+	}
+}
+
+// FuzzSketchDifferential drives tiny sketch-tiered logs through the
+// one-sided-and-bounded contract with fuzzer-chosen shapes.
+func FuzzSketchDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(70), uint8(0))
+	f.Add(int64(42), uint8(130), uint8(2))
+	f.Add(int64(7), uint8(255), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, windowSel uint8) {
+		r := rand.New(rand.NewSource(seed))
+		s := sketchStore(r, int(n), 64, sketchTestConfig())
+		w := sketchWindows()[int(windowSel)%len(sketchWindows())]
+		vb := s.Window(w[0], w[1])
+		vo := s.WindowScan(w[0], w[1])
+		for _, conds := range [][]Cond{
+			{{"app_version", "1.1"}},
+			{{"app_version", "1.9"}, {AttrWeather, "w2"}},
+			{{AttrWeather, "w0"}},
+		} {
+			got, err1 := vb.Count(conds, nil)
+			exact, err2 := vo.Count(conds, nil)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("error divergence: %v vs %v", err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			approx, bound := vb.Approx(conds, nil)
+			if !approx {
+				if got != exact {
+					t.Fatalf("conds %v: exact-path %+v != oracle %+v", conds, got, exact)
+				}
+				continue
+			}
+			if got.Total < exact.Total || got.Drift < exact.Drift {
+				t.Fatalf("conds %v: sketch %+v below exact %+v", conds, got, exact)
+			}
+			if got.Total-exact.Total > bound || got.Drift-exact.Drift > bound {
+				t.Fatalf("conds %v: sketch %+v exceeds exact %+v beyond bound %d", conds, got, exact, bound)
+			}
+		}
+	})
+}

@@ -15,6 +15,7 @@
 package fim
 
 import (
+	"container/list"
 	"sync"
 	"sync/atomic"
 
@@ -28,41 +29,113 @@ type supportCacheKey struct {
 	epoch uint64
 }
 
-// SupportCache memoizes support counts against one view. It is safe for
-// concurrent use (parallel candidate counting and subset rescoring
-// share it).
-type SupportCache struct {
-	v  *driftlog.View
-	mu sync.Mutex
-	m  map[supportCacheKey]driftlog.CountResult
+// supportCacheEntry is one resident memo entry (the LRU list element
+// value), carrying its key so eviction can unlink the map entry.
+type supportCacheEntry struct {
+	key supportCacheKey
+	cr  driftlog.CountResult
 }
 
-// NewSupportCache returns an empty memo over v.
+// DefaultSupportCacheCap bounds a SupportCache's resident entries. A
+// high-cardinality window can visit hundreds of thousands of candidate
+// keys; without a bound the memo grows with the key universe rather than
+// the working set. 32k entries (~3 MB) comfortably covers every key of an
+// ordinary mining run, so eviction only engages on pathological windows.
+const DefaultSupportCacheCap = 32768
+
+// SupportCache memoizes support counts against one view with LRU
+// eviction. It is safe for concurrent use (parallel candidate counting
+// and subset rescoring share it). Eviction never affects results — an
+// evicted entry is simply recounted on next use.
+type SupportCache struct {
+	v   *driftlog.View
+	mu  sync.Mutex
+	cap int
+	m   map[supportCacheKey]*list.Element // values are *supportCacheEntry
+	lru *list.List                        // front = most recently used
+}
+
+// NewSupportCache returns an empty memo over v with the default bound.
 func NewSupportCache(v *driftlog.View) *SupportCache {
-	return &SupportCache{v: v, m: map[supportCacheKey]driftlog.CountResult{}}
+	return NewSupportCacheSize(v, DefaultSupportCacheCap)
+}
+
+// NewSupportCacheSize is NewSupportCache with an explicit entry bound
+// (minimum 1).
+func NewSupportCacheSize(v *driftlog.View, capacity int) *SupportCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SupportCache{
+		v:   v,
+		cap: capacity,
+		m:   map[supportCacheKey]*list.Element{},
+		lru: list.New(),
+	}
 }
 
 // View returns the view the cache memoizes against.
 func (sc *SupportCache) View() *driftlog.View { return sc.v }
 
-// supportCacheHits / supportCacheMisses are cumulative package counters,
-// exposed as gauges by the observability layer.
+// Len returns the resident entry count (always <= the construction cap).
+func (sc *SupportCache) Len() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.m)
+}
+
+// get returns a resident entry, promoting it to most recently used.
+func (sc *SupportCache) get(k supportCacheKey) (driftlog.CountResult, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	el, ok := sc.m[k]
+	if !ok {
+		return driftlog.CountResult{}, false
+	}
+	sc.lru.MoveToFront(el)
+	return el.Value.(*supportCacheEntry).cr, true
+}
+
+// put inserts (or refreshes) an entry, evicting from the cold end while
+// over capacity. Caller must not hold mu.
+func (sc *SupportCache) put(k supportCacheKey, cr driftlog.CountResult) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if el, ok := sc.m[k]; ok {
+		el.Value.(*supportCacheEntry).cr = cr
+		sc.lru.MoveToFront(el)
+		return
+	}
+	sc.m[k] = sc.lru.PushFront(&supportCacheEntry{key: k, cr: cr})
+	for len(sc.m) > sc.cap {
+		oldest := sc.lru.Back()
+		sc.lru.Remove(oldest)
+		delete(sc.m, oldest.Value.(*supportCacheEntry).key)
+		supportCacheEvictions.Add(1)
+	}
+}
+
+// supportCacheHits / supportCacheMisses / supportCacheEvictions are
+// cumulative package counters, exposed as gauges by the observability
+// layer.
 var (
-	supportCacheHits   atomic.Uint64
-	supportCacheMisses atomic.Uint64
+	supportCacheHits      atomic.Uint64
+	supportCacheMisses    atomic.Uint64
+	supportCacheEvictions atomic.Uint64
 )
 
 // SupportCacheStats is a snapshot of the package-wide memo counters.
 type SupportCacheStats struct {
-	Hits, Misses uint64
+	Hits, Misses, Evictions uint64
 }
 
-// ReadSupportCacheStats returns the cumulative hit/miss counters across
-// all SupportCaches in the process.
+// ReadSupportCacheStats returns the cumulative hit/miss/eviction counters
+// across all SupportCaches in the process.
 func ReadSupportCacheStats() SupportCacheStats {
 	return SupportCacheStats{
-		Hits:   supportCacheHits.Load(),
-		Misses: supportCacheMisses.Load(),
+		Hits:      supportCacheHits.Load(),
+		Misses:    supportCacheMisses.Load(),
+		Evictions: supportCacheEvictions.Load(),
 	}
 }
 
@@ -79,10 +152,7 @@ func epochOf(ov *driftlog.Overlay) uint64 {
 // recording it on miss.
 func (sc *SupportCache) count(key string, set Itemset, ov *driftlog.Overlay) (driftlog.CountResult, error) {
 	k := supportCacheKey{items: key, epoch: epochOf(ov)}
-	sc.mu.Lock()
-	cr, ok := sc.m[k]
-	sc.mu.Unlock()
-	if ok {
+	if cr, ok := sc.get(k); ok {
 		supportCacheHits.Add(1)
 		return cr, nil
 	}
@@ -91,17 +161,13 @@ func (sc *SupportCache) count(key string, set Itemset, ov *driftlog.Overlay) (dr
 	if err != nil {
 		return driftlog.CountResult{}, err
 	}
-	sc.mu.Lock()
-	sc.m[k] = cr
-	sc.mu.Unlock()
+	sc.put(k, cr)
 	return cr, nil
 }
 
 // seed records an already-known count so later rescores hit.
 func (sc *SupportCache) seed(key string, epoch uint64, cr driftlog.CountResult) {
-	sc.mu.Lock()
-	sc.m[supportCacheKey{items: key, epoch: epoch}] = cr
-	sc.mu.Unlock()
+	sc.put(supportCacheKey{items: key, epoch: epoch}, cr)
 }
 
 // MineCache is the reusable output of one full mine at overlay epoch 0:
@@ -123,6 +189,45 @@ type MineCache struct {
 	// deterministic output, provided the thresholds match too).
 	results []Result
 	th      Thresholds
+}
+
+// mineCacheMaxEntries bounds the retained cross-window cache (a var so
+// tests can shrink it). A high-cardinality window can produce millions of
+// level-1/pair entries; an unbounded cache would pin them all until the
+// next mine.
+var mineCacheMaxEntries = 1 << 16
+
+// mineCacheRefusals counts windows whose cache was too large to retain.
+var mineCacheRefusals atomic.Uint64
+
+// MineCacheRefusals returns the cumulative count of mining runs whose
+// cross-window cache exceeded the retention bound and was dropped.
+func MineCacheRefusals() uint64 { return mineCacheRefusals.Load() }
+
+// Size returns the number of retained count entries (0 for nil).
+func (mc *MineCache) Size() int {
+	if mc == nil {
+		return 0
+	}
+	n := len(mc.pairs) + len(mc.sets)
+	for _, vals := range mc.level1 {
+		n += len(vals)
+	}
+	return n
+}
+
+// bound enforces the retention cap: an over-budget cache drops every
+// count map and stays incomplete (forcing the next window to mine
+// fresh). Dropping individual entries instead would silently undercount —
+// the incremental merges treat a missing previous entry as zero.
+func (mc *MineCache) bound() {
+	if mc.Size() <= mineCacheMaxEntries {
+		return
+	}
+	mc.complete = false
+	mc.level1, mc.pairs, mc.sets = nil, nil, nil
+	mc.results = nil
+	mineCacheRefusals.Add(1)
 }
 
 // sameThresholds reports field-wise equality (Thresholds holds a slice,

@@ -92,6 +92,13 @@ type Result struct {
 	Items   Itemset
 	Counts  driftlog.CountResult
 	Metrics Metrics
+	// Approx marks counts answered by the drift log's sketch tier (some
+	// attribute of the itemset crossed the cardinality threshold);
+	// ErrBound is the analytic one-sided error bound of those counts —
+	// Counts.Total may exceed the true count by at most ErrBound, never
+	// undershoot it. Exact-tier results carry false/0.
+	Approx   bool
+	ErrBound int
 }
 
 // Thresholds are the FIM acceptance thresholds; the paper's defaults are
@@ -203,6 +210,12 @@ func MineCachedContext(ctx context.Context, sc *SupportCache, delta *driftlog.Vi
 	}
 	v := sc.View()
 	inc := delta != nil && prev != nil && prev.complete && ov == nil
+	// On the sketch tier the cached-delta trade inverts: candidate
+	// estimates cost O(depth) probes while every delta count is a row
+	// scan over the delta (the exact bitsets were freed at tier-up), so
+	// a fresh sketch-backed mine is cheaper than replaying the cache —
+	// except for the empty-delta replay below, which stays free.
+	incSketched := inc && v.Sketched()
 	epoch := epochOf(ov)
 	var next *MineCache
 	if ov == nil {
@@ -222,8 +235,13 @@ func MineCachedContext(ctx context.Context, sc *SupportCache, delta *driftlog.Vi
 				sc.seed("", 0, prev.totals)
 				return append([]Result(nil), prev.results...), prev, nil
 			}
-			totals = addCR(prev.totals, dt)
-			sc.seed("", 0, totals)
+			if incSketched {
+				inc = false
+				totals, err = sc.count("", nil, ov)
+			} else {
+				totals = addCR(prev.totals, dt)
+				sc.seed("", 0, totals)
+			}
 		}
 	} else {
 		totals, err = sc.count("", nil, ov)
@@ -384,7 +402,9 @@ func MineCachedContext(ctx context.Context, sc *SupportCache, delta *driftlog.Vi
 	for _, c := range all {
 		m := ComputeMetrics(c.counts, totals.Total, totals.Drift)
 		if th.Passes(m) {
-			results = append(results, Result{Items: c.set, Counts: c.counts, Metrics: m})
+			r := Result{Items: c.set, Counts: c.counts, Metrics: m}
+			r.Approx, r.ErrBound = v.Approx(c.set, ov)
+			results = append(results, r)
 		}
 	}
 	Rank(results)
@@ -392,6 +412,7 @@ func MineCachedContext(ctx context.Context, sc *SupportCache, delta *driftlog.Vi
 		next.complete = true
 		next.results = append([]Result(nil), results...)
 		next.th = th
+		next.bound()
 	}
 	return results, next, nil
 }
@@ -432,7 +453,9 @@ func RescoreCached(sc *SupportCache, set Itemset, ov *driftlog.Overlay) (Result,
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Items: set, Counts: cr, Metrics: ComputeMetrics(cr, totals.Total, totals.Drift)}, nil
+	r := Result{Items: set, Counts: cr, Metrics: ComputeMetrics(cr, totals.Total, totals.Drift)}
+	r.Approx, r.ErrBound = sc.v.Approx(set, ov)
+	return r, nil
 }
 
 // join merges two same-size itemsets into a candidate one item larger,

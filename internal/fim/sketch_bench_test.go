@@ -1,0 +1,144 @@
+package fim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"nazar/internal/driftlog"
+)
+
+// Mining benchmarks over high-cardinality logs, exact bitset index vs
+// sketch tier. The 1M-row × 100k-value sketch mine against the
+// 100k-row × 100-value exact mine is the PR's headline: bounded-memory
+// mining at fleet cardinality within small-constant factors of the
+// low-cardinality exact path.
+
+var mineBenchStores sync.Map // "rows/card/variant" → *driftlog.Store
+
+func mineBenchStore(tb testing.TB, rows, card int, sketch bool) *driftlog.Store {
+	key := fmt.Sprintf("%d/%d/%v", rows, card, sketch)
+	if s, ok := mineBenchStores.Load(key); ok {
+		return s.(*driftlog.Store)
+	}
+	cfg := driftlog.SketchConfig{}
+	if !sketch {
+		cfg.Threshold = 1 << 30
+	}
+	s := driftlog.NewStoreWithSketch(cfg)
+	r := rand.New(rand.NewSource(42))
+	base := time.Unix(0, 0).UTC()
+	span := time.Hour
+	weathers := [3]string{"clear-day", "rain", "snow"}
+	batch := make([]driftlog.Entry, 0, 1<<14)
+	hot := 16
+	if hot > card {
+		hot = card
+	}
+	for i := 0; i < rows; i++ {
+		w := weathers[r.Intn(3)]
+		v := r.Intn(card)
+		if r.Float64() < 0.5 {
+			v = r.Intn(hot)
+		}
+		p := 0.02
+		if w == "snow" {
+			p = 0.5
+		}
+		if v == 0 {
+			p = 0.7
+		}
+		batch = append(batch, driftlog.Entry{
+			Time:     base.Add(span * time.Duration(i) / time.Duration(rows)),
+			Drift:    r.Float64() < p,
+			SampleID: -1,
+			Attrs: map[string]string{
+				driftlog.AttrWeather: w,
+				"app_version":        "v" + fmt.Sprint(v),
+			},
+		})
+		if len(batch) == cap(batch) {
+			s.AppendBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	s.AppendBatch(batch)
+	mineBenchStores.Store(key, s)
+	return s
+}
+
+var mineBenchCases = []struct {
+	name       string
+	rows, card int
+	variants   []bool // false = exact, true = sketch
+}{
+	{"100kx100", 100_000, 100, []bool{false}},
+	{"1Mx100", 1_000_000, 100, []bool{false}},
+	{"100kx100k", 100_000, 100_000, []bool{false, true}},
+	{"1Mx100k", 1_000_000, 100_000, []bool{true}},
+}
+
+func mineVariant(sketch bool) string {
+	if sketch {
+		return "sketch"
+	}
+	return "exact"
+}
+
+// BenchmarkSketchMine is one full from-scratch mine of the whole log.
+func BenchmarkSketchMine(b *testing.B) {
+	th := DefaultThresholds()
+	for _, c := range mineBenchCases {
+		for _, sketch := range c.variants {
+			b.Run(mineVariant(sketch)+"/"+c.name, func(b *testing.B) {
+				v := mineBenchStore(b, c.rows, c.card, sketch).All()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, _, err := MineCachedContext(context.Background(), NewSupportCache(v), nil, nil, nil, th)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res) == 0 {
+						b.Fatal("mine found nothing")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSketchRemine is the sliding-window shape: a window that
+// grew by ten minutes re-mined against the previous window's cache, so
+// the apriori passes count only the delta rows.
+func BenchmarkSketchRemine(b *testing.B) {
+	th := DefaultThresholds()
+	base := time.Unix(0, 0).UTC()
+	for _, c := range mineBenchCases {
+		for _, sketch := range c.variants {
+			b.Run(mineVariant(sketch)+"/"+c.name, func(b *testing.B) {
+				s := mineBenchStore(b, c.rows, c.card, sketch)
+				v1 := s.Window(time.Time{}, base.Add(40*time.Minute))
+				rows1 := v1.ShardRows()
+				_, to1 := v1.Bounds()
+				_, cache1, err := MineCachedContext(context.Background(), NewSupportCache(v1), nil, nil, nil, th)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v2 := s.Window(time.Time{}, base.Add(50*time.Minute))
+				delta, err := v2.Since(rows1, to1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := MineCachedContext(context.Background(), NewSupportCache(v2), delta, cache1, nil, th); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -526,6 +526,10 @@ func (e *Engine) report(acc *shardAcc, i, coh, w, t int, canary, drifted bool, w
 		Drift:    drifted,
 		SampleID: -1,
 	}
+	for hi := range e.sc.HighCard {
+		hc := &e.sc.HighCard[hi]
+		entry.Attrs[hc.Attr] = hc.Value(e.sc.Seed, uint64(i), w, t, hi)
+	}
 	if err := e.sink.Report(entry, nil); err != nil {
 		acc.sinkDropped++
 		return

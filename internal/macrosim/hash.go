@@ -17,7 +17,8 @@ const (
 	streamChurn
 	streamCohort
 	streamJoin
-	streamEventBase uint64 = 0x100 // + event index
+	streamEventBase    uint64 = 0x100 // + event index
+	streamHighCardBase uint64 = 0x200 // + high-cardinality spec index
 )
 
 const golden64 = 0x9e3779b97f4a7c15

@@ -43,6 +43,8 @@ const (
 	maxCohorts        = 32
 	maxDriftEvents    = 64
 	maxRampSteps      = 32
+	maxHighCard       = 4
+	maxHighCardValues = 1 << 20
 )
 
 // ScenarioError is the typed parse/validation error for scenario packs.
@@ -174,6 +176,46 @@ type RolloutSpec struct {
 	StartWindow int `json:"start_window,omitempty"`
 }
 
+// HighCardSpec attaches one synthetic high-cardinality attribute (a
+// fine-grained build ID, app version, firmware string, …) to every
+// entry the sink materializes. Fleets carry such attributes in
+// practice, and they are exactly what pushes the drift log's per-value
+// bitset index past its memory budget — the spec exists to exercise
+// the sketch tier end-to-end through `nazar-sim -scenario`.
+type HighCardSpec struct {
+	// Attr is the attribute name; it must not collide with the
+	// built-in attributes (device, weather, model, location, cohort).
+	Attr string `json:"attr"`
+	// Cardinality is the number of distinct values the attribute can
+	// take across the fleet.
+	Cardinality int `json:"cardinality"`
+	// HotFraction in [0,1] routes that share of draws to the HotValues
+	// lowest-numbered values, mimicking the real skew where a handful
+	// of releases dominate and a long tail of stragglers remains.
+	HotFraction float64 `json:"hot_fraction,omitempty"`
+	// HotValues is the size of the hot set (defaults to 16, clamped to
+	// Cardinality).
+	HotValues int `json:"hot_values,omitempty"`
+}
+
+// Value returns the deterministic attribute value for one delivered
+// entry: a per-tick hash picks hot set vs long tail, an independent
+// re-mix picks the value inside the chosen range.
+func (hc *HighCardSpec) Value(seed, dev uint64, w, t int, idx int) string {
+	h := hash4(seed, dev, w, t, streamHighCardBase+uint64(idx))
+	hot := hc.HotValues
+	if hot > hc.Cardinality {
+		hot = hc.Cardinality
+	}
+	v := 0
+	if hot > 0 && unitFloat(h) < hc.HotFraction {
+		v = int(mix64(h^golden64) % uint64(hot))
+	} else {
+		v = int(mix64(h+golden64) % uint64(hc.Cardinality))
+	}
+	return hc.Attr + "-" + strconv.Itoa(v)
+}
+
 // Scenario is one declarative scenario pack.
 type Scenario struct {
 	Name           string       `json:"name"`
@@ -191,6 +233,9 @@ type Scenario struct {
 	// (e.g. a transport.Client) — the bridge from macro-scale counting
 	// to the real wire.
 	SinkEvery int `json:"sink_every,omitempty"`
+	// HighCard attaches synthetic high-cardinality attributes to the
+	// entries SinkEvery materializes (no effect without a sink).
+	HighCard []HighCardSpec `json:"high_cardinality,omitempty"`
 }
 
 // knownCorruption reports whether name is an imagesim corruption.
@@ -259,6 +304,11 @@ func (sc *Scenario) applyDefaults() {
 	}
 	if sc.Churn.SpoolCap == 0 {
 		sc.Churn.SpoolCap = 64
+	}
+	for i := range sc.HighCard {
+		if sc.HighCard[i].HotValues == 0 && sc.HighCard[i].HotFraction > 0 {
+			sc.HighCard[i].HotValues = 16
+		}
 	}
 }
 
@@ -388,6 +438,30 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.SinkEvery < 0 {
 		return scErr("sink_every", "%d must be non-negative", sc.SinkEvery)
+	}
+	if len(sc.HighCard) > maxHighCard {
+		return scErr("high_cardinality", "%d specs exceed the limit %d", len(sc.HighCard), maxHighCard)
+	}
+	reserved := map[string]bool{"device": true, "location": true, "weather": true, "model": true, "cohort": true}
+	for i := range sc.HighCard {
+		hc := &sc.HighCard[i]
+		f := func(name string) string { return fmt.Sprintf("high_cardinality[%d].%s", i, name) }
+		if hc.Attr == "" {
+			return scErr(f("attr"), "must be non-empty")
+		}
+		if reserved[hc.Attr] {
+			return scErr(f("attr"), "%q collides with a built-in attribute", hc.Attr)
+		}
+		if hc.Cardinality < 2 || hc.Cardinality > maxHighCardValues {
+			return scErr(f("cardinality"), "%d out of range [2,%d]", hc.Cardinality, maxHighCardValues)
+		}
+		if hc.HotFraction < 0 || hc.HotFraction > 1 {
+			return scErr(f("hot_fraction"), "%v out of [0,1]", hc.HotFraction)
+		}
+		if hc.HotValues < 0 {
+			return scErr(f("hot_values"), "%d must be non-negative", hc.HotValues)
+		}
+		reserved[hc.Attr] = true
 	}
 	return nil
 }

@@ -1,0 +1,195 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCountMinOneSided(t *testing.T) {
+	cm := NewCountMin(1024, 3, 42)
+	exact := map[string][2]uint32{}
+	rng := rand.New(rand.NewSource(7))
+	var n uint64
+	for i := 0; i < 20000; i++ {
+		key := fmt.Sprintf("k%d", rng.Intn(5000))
+		drifted := rng.Intn(3) == 0
+		cm.Add(key, drifted)
+		e := exact[key]
+		e[0]++
+		if drifted {
+			e[1]++
+		}
+		exact[key] = e
+		n++
+	}
+	bound := cm.ErrBound(n)
+	for key, want := range exact {
+		got := cm.Estimate(key)
+		if got.Total < want[0] {
+			t.Fatalf("Estimate(%q).Total = %d < exact %d (must be one-sided)", key, got.Total, want[0])
+		}
+		if got.Drift < want[1] {
+			t.Fatalf("Estimate(%q).Drift = %d < exact %d (must be one-sided)", key, got.Drift, want[1])
+		}
+		if uint64(got.Total-want[0]) > bound {
+			t.Fatalf("Estimate(%q).Total = %d exceeds exact %d by more than bound %d", key, got.Total, want[0], bound)
+		}
+		if got.Drift > got.Total {
+			t.Fatalf("Estimate(%q): drift %d > total %d", key, got.Drift, got.Total)
+		}
+	}
+}
+
+func TestCountMinOrderIndependent(t *testing.T) {
+	keys := make([]string, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		keys = append(keys, fmt.Sprintf("key-%d", i%700))
+	}
+	a := NewCountMin(256, 3, 99)
+	for _, k := range keys {
+		a.Add(k, len(k)%2 == 0)
+	}
+	b := NewCountMin(256, 3, 99)
+	for i := len(keys) - 1; i >= 0; i-- {
+		b.Add(keys[i], len(keys[i])%2 == 0)
+	}
+	if !reflect.DeepEqual(a.rows, b.rows) {
+		t.Fatal("counter arrays differ between insertion orders; adds must commute")
+	}
+}
+
+func TestCountMinMerge(t *testing.T) {
+	full := NewCountMin(128, 3, 5)
+	a := NewCountMin(128, 3, 5)
+	b := NewCountMin(128, 3, 5)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("m%d", i%90)
+		full.Add(k, i%4 == 0)
+		if i%2 == 0 {
+			a.Add(k, i%4 == 0)
+		} else {
+			b.Add(k, i%4 == 0)
+		}
+	}
+	a.Merge(b)
+	if !reflect.DeepEqual(a.rows, full.rows) {
+		t.Fatal("merged sketch differs from single-stream sketch")
+	}
+}
+
+func TestCountMinMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on geometry mismatch")
+		}
+	}()
+	NewCountMin(128, 3, 5).Merge(NewCountMin(64, 3, 5))
+}
+
+func TestCountMinConcurrent(t *testing.T) {
+	cm := NewCountMin(512, 3, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				cm.Add(fmt.Sprintf("c%d", i%50), i%2 == 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for i := 0; i < 50; i++ {
+		total += uint64(cm.Estimate(fmt.Sprintf("c%d", i)).Total)
+	}
+	if total < 8000 {
+		t.Fatalf("concurrent adds lost increments: total %d < 8000", total)
+	}
+}
+
+func TestSpaceSavingGuarantee(t *testing.T) {
+	// Frequency guarantee: every key with true count > N/k must be tracked.
+	ss := NewSpaceSaving[string](64)
+	exact := map[string]uint64{}
+	rng := rand.New(rand.NewSource(3))
+	var n uint64
+	for i := 0; i < 50000; i++ {
+		var key string
+		if rng.Intn(10) < 6 {
+			key = fmt.Sprintf("hot%d", rng.Intn(10))
+		} else {
+			key = fmt.Sprintf("cold%d", rng.Intn(20000))
+		}
+		ss.Offer(key, 1)
+		exact[key]++
+		n++
+	}
+	tracked := map[string]HeavyHitter[string]{}
+	for _, hh := range ss.Items() {
+		tracked[hh.Key] = hh
+	}
+	thresh := n / uint64(ss.Cap())
+	for key, cnt := range exact {
+		if cnt <= thresh {
+			continue
+		}
+		hh, ok := tracked[key]
+		if !ok {
+			t.Fatalf("key %q with count %d > N/k=%d missing from summary", key, cnt, thresh)
+		}
+		if hh.Count < cnt {
+			t.Fatalf("key %q reported count %d < true %d (must overestimate)", key, hh.Count, cnt)
+		}
+		if hh.Count-hh.Err > cnt {
+			t.Fatalf("key %q count-err %d exceeds true %d", key, hh.Count-hh.Err, cnt)
+		}
+	}
+}
+
+func TestSpaceSavingDeterministic(t *testing.T) {
+	offers := make([]string, 0, 5000)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		offers = append(offers, fmt.Sprintf("v%d", rng.Intn(400)))
+	}
+	run := func() []HeavyHitter[string] {
+		ss := NewSpaceSaving[string](32)
+		for _, k := range offers {
+			ss.Offer(k, 1)
+		}
+		return ss.Items()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical offer sequences produced different summaries")
+	}
+}
+
+func TestSpaceSavingItemsSorted(t *testing.T) {
+	ss := NewSpaceSaving[string](16)
+	for i := 0; i < 100; i++ {
+		ss.Offer(fmt.Sprintf("s%d", i%7), uint64(1+i%3))
+	}
+	items := ss.Items()
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Count < items[i].Count {
+			t.Fatalf("Items not sorted by count desc at %d", i)
+		}
+		if items[i-1].Count == items[i].Count && items[i-1].Key >= items[i].Key {
+			t.Fatalf("Items tie not broken by key asc at %d", i)
+		}
+	}
+}
+
+func TestErrBound(t *testing.T) {
+	if got := ErrBound(1024, 0); got != 0 {
+		t.Fatalf("ErrBound(1024, 0) = %d, want 0", got)
+	}
+	if got := ErrBound(1024, 1024); got < 2 || got > 3 {
+		t.Fatalf("ErrBound(1024, 1024) = %d, want ~e", got)
+	}
+}

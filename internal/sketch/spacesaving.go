@@ -1,0 +1,176 @@
+package sketch
+
+import (
+	"sort"
+	"sync"
+)
+
+// SpaceSaving is the Metwally et al. Space-Saving heavy-hitter summary over
+// keys of any ordered-comparable kind (ordering is required only to break
+// count ties deterministically). With capacity k it guarantees that every
+// key whose true frequency exceeds N/k is present in the summary after N
+// offers, and that each reported count overestimates the true count by at
+// most the count of the minimum entry at eviction time.
+//
+// The implementation keeps the entries in a binary min-heap ordered by
+// (count asc, key asc) with a key->slot map, so Offer is O(log k) even when
+// the summary is full — a linear min-scan would cost O(k) per eviction,
+// which at k=2048 and millions of rows dominates ingest. The (count, key)
+// total order makes eviction deterministic: the same offer sequence always
+// evicts the same keys, independent of map iteration order.
+//
+// SpaceSaving is guarded by an internal mutex and safe for concurrent use.
+type SpaceSaving[K ordered] struct {
+	cap  int
+	mu   sync.Mutex
+	heap []ssEntry[K]
+	pos  map[K]int // key -> index in heap
+}
+
+type ssEntry[K ordered] struct {
+	key   K
+	count uint64
+	err   uint64 // overestimate bound inherited from the evicted minimum
+}
+
+// ordered is the constraint for Space-Saving keys: comparable with a total
+// order usable for deterministic tie-breaking.
+type ordered interface {
+	~string | ~int | ~int64 | ~uint64 | ~uint32
+}
+
+// HeavyHitter is one entry reported by Items: Count overestimates the true
+// frequency by at most Err.
+type HeavyHitter[K ordered] struct {
+	Key   K
+	Count uint64
+	Err   uint64
+}
+
+// NewSpaceSaving returns a tracker with the given capacity (clamped to at
+// least 1).
+func NewSpaceSaving[K ordered](capacity int) *SpaceSaving[K] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpaceSaving[K]{
+		cap: capacity,
+		pos: make(map[K]int, capacity),
+	}
+}
+
+// Cap returns the configured capacity.
+func (s *SpaceSaving[K]) Cap() int { return s.cap }
+
+// Len returns the number of tracked keys.
+func (s *SpaceSaving[K]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.heap)
+}
+
+// Offer records n occurrences of key.
+func (s *SpaceSaving[K]) Offer(key K, n uint64) {
+	if n == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.pos[key]; ok {
+		s.heap[i].count += n
+		s.siftDown(i)
+		return
+	}
+	if len(s.heap) < s.cap {
+		s.heap = append(s.heap, ssEntry[K]{key: key, count: n})
+		s.pos[key] = len(s.heap) - 1
+		s.siftUp(len(s.heap) - 1)
+		return
+	}
+	// Full: replace the minimum entry, inheriting its count as the
+	// overestimate bound for the newcomer.
+	min := &s.heap[0]
+	delete(s.pos, min.key)
+	s.pos[key] = 0
+	min.err = min.count
+	min.key = key
+	min.count += n
+	s.siftDown(0)
+}
+
+// Items returns the tracked entries sorted by (count desc, key asc) — the
+// deterministic candidate order the mining layer enumerates.
+func (s *SpaceSaving[K]) Items() []HeavyHitter[K] {
+	s.mu.Lock()
+	out := make([]HeavyHitter[K], len(s.heap))
+	for i, e := range s.heap {
+		out[i] = HeavyHitter[K]{Key: e.key, Count: e.count, Err: e.err}
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Bytes returns an estimate of the heap footprint (entries + map slots);
+// string keys additionally count their byte length.
+func (s *SpaceSaving[K]) Bytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.cap * (32 + 16) // entry struct + map bucket share
+	for i := range s.heap {
+		if k, ok := any(s.heap[i].key).(string); ok {
+			n += len(k)
+		}
+	}
+	return n
+}
+
+// less orders the heap by (count asc, key asc): a strict total order so
+// the eviction victim is unique.
+func (s *SpaceSaving[K]) less(i, j int) bool {
+	if s.heap[i].count != s.heap[j].count {
+		return s.heap[i].count < s.heap[j].count
+	}
+	return s.heap[i].key < s.heap[j].key
+}
+
+func (s *SpaceSaving[K]) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.pos[s.heap[i].key] = i
+	s.pos[s.heap[j].key] = j
+}
+
+func (s *SpaceSaving[K]) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			return
+		}
+		s.swap(i, p)
+		i = p
+	}
+}
+
+func (s *SpaceSaving[K]) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s.less(l, m) {
+			m = l
+		}
+		if r < n && s.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.swap(i, m)
+		i = m
+	}
+}
